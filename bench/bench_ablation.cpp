@@ -1,0 +1,72 @@
+// Ablations over the design choices DESIGN.md calls out:
+//   (1) rotation-set size: partial-RS(l,n;A) between RS and complete-RS —
+//       degree/diameter trade-off (Section 3.3.4);
+//   (2) recursive nuclei: recursive-MS vs flat MS at the same k;
+//   (3) router designation policy: canonical vs offset-search vs greedy
+//       matching on macro-stars.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/formulas.hpp"
+#include "networks/router.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void report_net(const scg::NetworkSpec& net) {
+  const scg::DistanceStats s = scg::network_distance_stats(net, false);
+  std::printf("%-26s N=%-7llu deg=%-3d diam=%-4d avg=%-7.3f bound=%d\n",
+              net.name.c_str(),
+              static_cast<unsigned long long>(net.num_nodes()), net.degree(),
+              s.eccentricity, s.average, scg::diameter_upper_bound(net));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation 1: rotation-set size (l=5, n=1, k=6, N=720) ===\n");
+  report_net(scg::make_rotation_star(5, 1));                    // {1,4}
+  report_net(scg::make_partial_rotation_star(5, 1, {1, 2}));
+  report_net(scg::make_partial_rotation_star(5, 1, {1, 2, 4}));
+  report_net(scg::make_complete_rotation_star(5, 1));           // {1,2,3,4}
+  std::printf("More rotations -> higher degree, smaller diameter.\n\n");
+
+  std::printf("=== Ablation 2: recursive vs flat nuclei (k=9, N=362880) ===\n");
+  report_net(scg::make_macro_star(2, 4));
+  report_net(scg::make_recursive_macro_star(2, 2, 2));
+  std::printf("The recursive construction trades one unit of degree for a\n"
+              "larger diameter (Section 3.3.4's cost/performance knob).\n\n");
+
+  std::printf("=== Ablation 3: router designation policy on MS(3,2) ===\n");
+  {
+    const int l = 3;
+    const int n = 2;
+    const int k = 7;
+    std::uint64_t canonical_total = 0;
+    std::uint64_t greedy_total = 0;
+    int canonical_worst = 0;
+    int greedy_worst = 0;
+    for (std::uint64_t r = 0; r < scg::factorial(k); ++r) {
+      const scg::Permutation u = scg::Permutation::unrank(k, r);
+      const int c = static_cast<int>(
+          scg::solve_transposition_game(u, l, n, scg::BoxMoveStyle::kSwap)
+              .size());
+      const int g = static_cast<int>(
+          scg::solve_transposition_game_greedy_designation(u, l, n).size());
+      canonical_total += static_cast<std::uint64_t>(c);
+      greedy_total += static_cast<std::uint64_t>(g);
+      canonical_worst = std::max(canonical_worst, c);
+      greedy_worst = std::max(greedy_worst, g);
+    }
+    const double nperm = static_cast<double>(scg::factorial(k));
+    std::printf("canonical designation: avg=%.3f worst=%d\n",
+                canonical_total / nperm, canonical_worst);
+    std::printf("greedy designation:    avg=%.3f worst=%d\n",
+                greedy_total / nperm, greedy_worst);
+    const scg::DistanceStats exact =
+        scg::network_distance_stats(scg::make_macro_star(l, n), false);
+    std::printf("exact (BFS):           avg=%.3f diam=%d\n", exact.average,
+                exact.eccentricity);
+  }
+  return 0;
+}

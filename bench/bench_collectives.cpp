@@ -1,0 +1,97 @@
+// Conclusions-section claims: MNB and broadcast round counts on super
+// Cayley graphs vs star graphs and hypercubes, under the single-port and
+// all-port models, against the universal lower bounds.
+#include <cstdio>
+
+#include "collectives/collectives.hpp"
+#include "topology/baselines.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void report_cayley(const scg::NetworkSpec& net) {
+  const scg::Graph g = scg::materialize(net);
+  const scg::DistanceStats s = scg::network_distance_stats(net, false);
+  const std::uint64_t root = scg::Permutation::identity(net.k()).rank();
+  const scg::CollectiveResult bc1 = scg::broadcast_single_port(g, root);
+  const scg::CollectiveResult bca = scg::broadcast_all_port(g, root);
+  const scg::CollectiveResult m1 = scg::mnb_single_port(g);
+  const scg::CollectiveResult ma = scg::mnb_all_port(g);
+  std::printf("%-20s N=%-6llu deg=%-2d | bcast 1port %3d (lb %2d)  "
+              "allport %2d (lb %2d) | MNB 1port %4d (lb %4d)  allport %3d (lb %3d)\n",
+              net.name.c_str(),
+              static_cast<unsigned long long>(g.num_nodes()), net.degree(),
+              bc1.rounds, scg::broadcast_single_port_lower_bound(g.num_nodes()),
+              bca.rounds, s.eccentricity, m1.rounds,
+              scg::mnb_single_port_lower_bound(g.num_nodes()), ma.rounds,
+              scg::mnb_all_port_lower_bound(g.num_nodes(), net.degree(),
+                                            s.eccentricity));
+}
+
+void report_graph(const scg::Graph& g, const char* name, int degree,
+                  int diameter) {
+  const scg::CollectiveResult bc1 = scg::broadcast_single_port(g, 0);
+  const scg::CollectiveResult bca = scg::broadcast_all_port(g, 0);
+  const scg::CollectiveResult m1 = scg::mnb_single_port(g);
+  const scg::CollectiveResult ma = scg::mnb_all_port(g);
+  std::printf("%-20s N=%-6llu deg=%-2d | bcast 1port %3d (lb %2d)  "
+              "allport %2d (lb %2d) | MNB 1port %4d (lb %4d)  allport %3d (lb %3d)\n",
+              name, static_cast<unsigned long long>(g.num_nodes()), degree,
+              bc1.rounds, scg::broadcast_single_port_lower_bound(g.num_nodes()),
+              bca.rounds, diameter, m1.rounds,
+              scg::mnb_single_port_lower_bound(g.num_nodes()), ma.rounds,
+              scg::mnb_all_port_lower_bound(g.num_nodes(), degree, diameter));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Collectives: rounds vs model lower bounds ===\n");
+  report_cayley(scg::make_macro_star(2, 2));
+  report_cayley(scg::make_complete_rotation_star(2, 2));
+  report_cayley(scg::make_macro_is(2, 2));
+  report_cayley(scg::make_star_graph(5));
+  report_graph(scg::make_hypercube(7), "hypercube(7)", 7, 7);
+  report_graph(scg::make_torus_2d(11, 11), "torus 11x11", 4, 10);
+  std::printf("\n--- a larger instance (N = 720) ---\n");
+  report_cayley(scg::make_macro_star(5, 1));
+  report_cayley(scg::make_complete_rotation_star(5, 1));
+  report_cayley(scg::make_star_graph(6));
+  std::printf("\n--- total exchange (all-port rounds) and scatter, N ~ 120 ---\n");
+  {
+    struct Entry {
+      scg::NetworkSpec net;
+    };
+    for (const scg::NetworkSpec& net :
+         {scg::make_macro_star(2, 2), scg::make_complete_rotation_star(2, 2),
+          scg::make_macro_is(2, 2), scg::make_star_graph(5)}) {
+      const scg::Graph g = scg::materialize(net);
+      const scg::DistanceStats s = scg::network_distance_stats(net, false);
+      const scg::CollectiveResult te = scg::te_all_port(g);
+      const scg::CollectiveResult sc = scg::scatter_single_port(
+          g, scg::Permutation::identity(net.k()).rank());
+      std::printf("%-20s TE allport %4d rounds (lb %4d) | scatter 1port %4d "
+                  "rounds (lb %d)\n",
+                  net.name.c_str(), te.rounds,
+                  scg::te_all_port_lower_bound(g.num_nodes(), net.degree(),
+                                               s.average),
+                  sc.rounds,
+                  scg::scatter_single_port_lower_bound(g.num_nodes()));
+    }
+    const scg::Graph hc = scg::make_hypercube(7);
+    const scg::DistanceStats hs = scg::graph_distance_stats(hc, 0);
+    const scg::CollectiveResult te = scg::te_all_port(hc);
+    const scg::CollectiveResult sc = scg::scatter_single_port(hc, 0);
+    std::printf("%-20s TE allport %4d rounds (lb %4d) | scatter 1port %4d "
+                "rounds (lb %d)\n",
+                "hypercube(7)", te.rounds,
+                scg::te_all_port_lower_bound(128, 7, hs.average), sc.rounds,
+                scg::scatter_single_port_lower_bound(128));
+  }
+
+  std::printf(
+      "\nExpectation (paper/conclusions): super Cayley graphs execute MNB\n"
+      "and TE within a small constant of the all-port bandwidth bounds,\n"
+      "like star graphs, while offering much lower degree than hypercubes.\n");
+  return 0;
+}

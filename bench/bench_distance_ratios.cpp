@@ -1,0 +1,49 @@
+// Theorems 4.5-4.7: diameter and average-distance to universal-lower-bound
+// ratios at finite N for the six families the paper analyses.
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void report(const scg::NetworkSpec& net) {
+  const scg::DistanceStats s = scg::network_distance_stats(net);
+  const double n = static_cast<double>(net.num_nodes());
+  const double dl = scg::universal_diameter_lower_bound(n, net.degree());
+  const double al = scg::universal_average_distance_lower_bound(
+      n, net.degree(), net.directed);
+  std::printf("%-20s N=%-8.0f deg=%-3d diam=%-3d D_L=%-6.2f alpha=%-5.2f "
+              "avg=%-6.2f avg_L=%-6.2f alpha_A=%.2f\n",
+              net.name.c_str(), n, net.degree(), s.eccentricity, dl,
+              dl > 0 ? s.eccentricity / dl : 0.0, s.average, al,
+              al > 0 ? s.average / al : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Theorems 4.5-4.7: distance optimality ratios ===\n");
+  report(scg::make_star_graph(8));
+  report(scg::make_macro_star(2, 3));
+  report(scg::make_macro_star(2, 4));
+  report(scg::make_macro_star(3, 3));
+  report(scg::make_complete_rotation_star(2, 3));
+  report(scg::make_complete_rotation_star(2, 4));
+  report(scg::make_complete_rotation_star(3, 3));
+  report(scg::make_macro_rotator(2, 3));
+  report(scg::make_macro_rotator(2, 4));
+  report(scg::make_macro_rotator(3, 3));
+  report(scg::make_macro_is(2, 3));
+  report(scg::make_macro_is(2, 4));
+  report(scg::make_complete_rotation_rotator(2, 4));
+  report(scg::make_complete_rotation_rotator(3, 3));
+  report(scg::make_complete_rotation_is(2, 4));
+  std::printf(
+      "\nExpectation (paper): for balanced instances the rotator/IS-based\n"
+      "families approach alpha = alpha_A = 1 and the star-based families\n"
+      "approach 1.25 as N grows; at k <= 10 the o(1) terms still dominate,\n"
+      "so ratios are ordered (rotator/IS < star-based < star) rather than\n"
+      "converged.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fault-tolerance evaluation: exact edge connectivity (== degree for these
+// Cayley graphs) and Monte-Carlo survival under random node/link failures.
+#include <cstdio>
+
+#include "topology/baselines.hpp"
+#include "topology/fault.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void report(const scg::NetworkSpec& net) {
+  const scg::Graph g = scg::materialize(net);
+  const std::uint64_t ec = scg::edge_connectivity(g);
+  const double s1 = scg::random_fault_survival_rate(g, 0, net.degree() - 1, 100);
+  const double s2 = scg::random_fault_survival_rate(g, 0, net.degree() + 2, 100);
+  const double s3 = scg::random_fault_survival_rate(g, 2, 2, 100);
+  std::printf("%-20s N=%-6llu deg=%-2d edge-conn=%llu | survive(deg-1 links)="
+              "%.2f (deg+2 links)=%.2f (2 nodes + 2 links)=%.2f\n",
+              net.name.c_str(),
+              static_cast<unsigned long long>(g.num_nodes()), net.degree(),
+              static_cast<unsigned long long>(ec), s1, s2, s3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fault tolerance of super Cayley graphs (N = 120) ===\n");
+  report(scg::make_macro_star(2, 2));
+  report(scg::make_complete_rotation_star(2, 2));
+  report(scg::make_macro_is(2, 2));
+  report(scg::make_rotation_is(2, 2));
+  report(scg::make_star_graph(5));
+  {
+    const scg::Graph g = scg::make_hypercube(7);
+    std::printf("%-20s N=%-6llu deg=%-2d edge-conn=%llu\n", "hypercube(7)",
+                static_cast<unsigned long long>(g.num_nodes()), 7,
+                static_cast<unsigned long long>(scg::edge_connectivity(g)));
+  }
+  std::printf("\n--- exact vertex connectivity (node-splitting max-flow) ---\n");
+  for (const scg::NetworkSpec& net :
+       {scg::make_macro_star(3, 1), scg::make_star_graph(4),
+        scg::make_macro_star(2, 2)}) {
+    const scg::Graph g = scg::materialize(net);
+    std::printf("%-20s N=%-6llu deg=%-2d kappa=%llu\n", net.name.c_str(),
+                static_cast<unsigned long long>(g.num_nodes()), net.degree(),
+                static_cast<unsigned long long>(scg::vertex_connectivity(g)));
+  }
+
+  std::printf(
+      "\nExpectation: connected Cayley (vertex-symmetric) graphs are\n"
+      "maximally edge-connected — edge connectivity equals the degree —\n"
+      "and these instances are maximally node-connected too, so any\n"
+      "(degree-1) failures leave the network connected and survival\n"
+      "degrades gracefully beyond that threshold.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Theorem 4.8: intercluster diameter and average intercluster distance when
+// each chip holds one nucleus.  Nucleus links cost 0, super links cost 1
+// (0-1 BFS).  Also reports the intercluster degree (the number of super
+// generators), the quantity that sets off-chip link bandwidth w/d_I.
+#include <cstdio>
+
+#include "analysis/bounds.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void report(const scg::NetworkSpec& net) {
+  const scg::DistanceStats s = scg::intercluster_distance_stats(net);
+  const double n = static_cast<double>(net.num_nodes());
+  // Lower bound on the intercluster diameter: the cluster-level graph has
+  // N/M clusters, each with M nodes contributing d_I off-chip links, so a
+  // cluster's degree is at most M*d_I.
+  const double clusters = n / static_cast<double>(net.cluster_size());
+  const int cluster_degree =
+      static_cast<int>(net.cluster_size()) * net.intercluster_degree();
+  const double dl = scg::universal_diameter_lower_bound(clusters, cluster_degree);
+  std::printf("%-20s N=%-8.0f M=%-5llu d_I=%-3d ic-diam=%-3d ic-avg=%-6.2f "
+              "cluster-D_L=%-6.2f\n",
+              net.name.c_str(), n,
+              static_cast<unsigned long long>(net.cluster_size()),
+              net.intercluster_degree(), s.eccentricity, s.average, dl);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Theorem 4.8: intercluster metrics (one nucleus per chip) ===\n");
+  report(scg::make_macro_star(2, 2));
+  report(scg::make_macro_star(3, 2));
+  report(scg::make_macro_star(2, 3));
+  report(scg::make_complete_rotation_star(2, 2));
+  report(scg::make_complete_rotation_star(3, 2));
+  report(scg::make_complete_rotation_star(2, 3));
+  report(scg::make_macro_rotator(3, 2));
+  report(scg::make_macro_is(3, 2));
+  report(scg::make_complete_rotation_rotator(3, 2));
+  report(scg::make_complete_rotation_is(3, 2));
+  report(scg::make_rotation_star(3, 2));
+  report(scg::make_rotation_star(4, 2));
+  std::printf(
+      "\nExpectation (paper): intercluster degree is small (l-1 for swap/\n"
+      "complete-rotation networks, 1-2 for rotation networks) and the\n"
+      "intercluster diameter stays close to the cluster-level lower bound.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Section 4.3's pointer to super-index-permutation graphs: when balls of a
+// box share a number, the state graph collapses to the box-level structure
+// and its diameter tracks the super Cayley graph's *intercluster* diameter
+// rather than the full diameter — the property the paper invokes for
+// optimal intercluster metrics with clusters larger than one nucleus.
+#include <cstdio>
+
+#include "ipg/ipg_network.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void compare(const scg::NetworkSpec& cayley, const scg::IpgSpec& ipg) {
+  const scg::DistanceStats full = scg::network_distance_stats(cayley, false);
+  const scg::DistanceStats ic = scg::intercluster_distance_stats(cayley);
+  const scg::DistanceStats sip = scg::ipg_distance_stats(ipg);
+  std::printf("%-14s N=%-8llu diam=%-3d ic-diam=%-3d | %-14s N=%-6llu "
+              "goal-ecc=%-3d goal-avg=%.2f\n",
+              cayley.name.c_str(),
+              static_cast<unsigned long long>(cayley.num_nodes()),
+              full.eccentricity, ic.eccentricity, ipg.name.c_str(),
+              static_cast<unsigned long long>(ipg.num_nodes()),
+              sip.eccentricity, sip.average);
+}
+
+void solver_sweep(const scg::IpgSpec& net) {
+  int worst = 0;
+  double total = 0;
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    const scg::IndexPermutation start =
+        scg::IndexPermutation::unrank(net.shape, r);
+    const int steps = static_cast<int>(scg::solve_ipg(net, start).size());
+    worst = std::max(worst, steps);
+    total += steps;
+  }
+  std::printf("%-14s color-level solver: worst=%d avg=%.2f over %llu states\n",
+              net.name.c_str(), worst, total / net.num_nodes(),
+              static_cast<unsigned long long>(net.num_nodes()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Super-index-permutation graphs vs super Cayley graphs ===\n");
+  compare(scg::make_macro_star(3, 2), scg::make_super_ip_star(3, 2));
+  compare(scg::make_macro_star(2, 3), scg::make_super_ip_star(2, 3));
+  compare(scg::make_complete_rotation_star(3, 2),
+          scg::make_super_ip_complete_rotation(3, 2));
+  compare(scg::make_macro_star(4, 2), scg::make_super_ip_star(4, 2));
+  compare(scg::make_macro_star(3, 3), scg::make_super_ip_star(3, 3));
+
+  std::printf("\n--- color-level game solver (exhaustive) ---\n");
+  solver_sweep(scg::make_super_ip_star(3, 2));
+  solver_sweep(scg::make_super_ip_complete_rotation(3, 2));
+  solver_sweep(scg::make_super_ip_star(2, 3));
+
+  std::printf(
+      "\nExpectation (paper Section 4.3): the IPG's diameter sits between\n"
+      "the super Cayley graph's intercluster diameter and its full\n"
+      "diameter, and far below the latter — identical balls shed the\n"
+      "within-nucleus sorting cost entirely.\n");
+  return 0;
+}

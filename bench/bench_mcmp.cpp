@@ -1,0 +1,133 @@
+// Section 4.3 / [36]: communication-intensive workloads on MCMPs.
+// Total exchange (TE), multinode broadcast (MNB, unicast-emulated) and
+// uniform random traffic on super Cayley MCMPs vs a hypercube of comparable
+// size, under the constant-pinout model: every node has off-chip bandwidth
+// w = 1, so an off-chip link transfers one packet every d_I cycles (d_I =
+// number of off-chip links per node).  On-chip (nucleus) hops take 1 cycle.
+#include <cstdio>
+#include <string>
+
+#include "sim/cutthrough.hpp"
+#include "sim/mcmp.hpp"
+#include "sim/workloads.hpp"
+#include "topology/baselines.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void run_cayley(const scg::NetworkSpec& net, const char* workload,
+                std::vector<scg::SimPacket> packets) {
+  const scg::Graph g = scg::materialize(net);
+  scg::SimConfig cfg;
+  cfg.onchip_cycles = 1;
+  cfg.offchip_cycles = std::max(1, net.intercluster_degree());  // w = 1
+  const scg::SimResult r = scg::simulate_mcmp(
+      g,
+      [&](std::int32_t tag) {
+        return !scg::is_nucleus(net.generators[static_cast<std::size_t>(tag)].kind);
+      },
+      std::move(packets), cfg);
+  std::printf("%-18s %-6s N=%-5llu d_I=%-2d cycles=%-8llu avg-lat=%-8.1f "
+              "offchip-hops=%llu\n",
+              net.name.c_str(), workload,
+              static_cast<unsigned long long>(g.num_nodes()),
+              net.intercluster_degree(),
+              static_cast<unsigned long long>(r.completion_cycles),
+              r.avg_latency, static_cast<unsigned long long>(r.offchip_hops));
+}
+
+void run_graph(const scg::Graph& g, const std::string& name, const char* workload,
+               std::vector<scg::SimPacket> packets) {
+  // One node per chip: every link is off-chip and shares the pin budget.
+  scg::SimConfig cfg;
+  cfg.onchip_cycles = 1;
+  cfg.offchip_cycles = static_cast<int>(g.max_degree());  // w = 1
+  const scg::SimResult r = scg::simulate_mcmp(
+      g, [](std::int32_t) { return true; }, std::move(packets), cfg);
+  std::printf("%-18s %-6s N=%-5llu d_I=%-2d cycles=%-8llu avg-lat=%-8.1f "
+              "offchip-hops=%llu\n",
+              name.c_str(), workload,
+              static_cast<unsigned long long>(g.num_nodes()),
+              static_cast<int>(g.max_degree()),
+              static_cast<unsigned long long>(r.completion_cycles),
+              r.avg_latency, static_cast<unsigned long long>(r.offchip_hops));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== MCMP workloads (constant pinout, w = 1 per node) ===\n");
+
+  std::printf("--- total exchange, N ~ 120-128 ---\n");
+  {
+    const scg::NetworkSpec ms = scg::make_macro_star(2, 2);
+    run_cayley(ms, "TE", scg::total_exchange_packets(ms));
+    const scg::NetworkSpec crs = scg::make_complete_rotation_star(2, 2);
+    run_cayley(crs, "TE", scg::total_exchange_packets(crs));
+    const scg::NetworkSpec mr = scg::make_macro_rotator(2, 2);
+    run_cayley(mr, "TE", scg::total_exchange_packets(mr));
+    const scg::Graph hc = scg::make_hypercube(7);
+    run_graph(hc, "hypercube(7)", "TE", scg::total_exchange_packets(hc));
+    const scg::Graph t2 = scg::make_torus_2d(11, 11);
+    run_graph(t2, "torus 11x11", "TE", scg::total_exchange_packets(t2));
+  }
+
+  std::printf("--- multinode broadcast (unicast-emulated), N ~ 120-128 ---\n");
+  {
+    const scg::NetworkSpec ms = scg::make_macro_star(2, 2);
+    run_cayley(ms, "MNB", scg::multinode_broadcast_packets(ms));
+    const scg::Graph hc = scg::make_hypercube(7);
+    run_graph(hc, "hypercube(7)", "MNB", scg::total_exchange_packets(hc));
+  }
+
+  std::printf("--- uniform random traffic (8 packets/node), N ~ 720 ---\n");
+  {
+    const scg::NetworkSpec ms = scg::make_macro_star(5, 1);  // k=6, N=720
+    run_cayley(ms, "rand", scg::random_traffic_packets(ms, 8, 7));
+    const scg::NetworkSpec crs = scg::make_complete_rotation_star(5, 1);
+    run_cayley(crs, "rand", scg::random_traffic_packets(crs, 8, 7));
+    const scg::Graph hc = scg::make_hypercube(9);  // N=512, nearest power of 2
+    run_graph(hc, "hypercube(9)", "rand", scg::random_traffic_packets(hc, 8, 7));
+  }
+
+  std::printf("--- cut-through switching (4-flit packets), TE, N ~ 120-128 ---\n");
+  {
+    // Section 4.2: with wormhole/cut-through switching per-hop latency
+    // pipelines away for a lone packet, but under all-to-all load the
+    // pin-limited serialisation keeps diameter/average distance decisive.
+    const scg::NetworkSpec crs = scg::make_complete_rotation_star(2, 2);
+    const scg::Graph g = scg::materialize(crs);
+    scg::CutThroughConfig cfg;
+    cfg.flits_per_packet = 4;
+    cfg.offchip_cycles_per_flit = std::max(1, crs.intercluster_degree());
+    const scg::CutThroughResult r = scg::simulate_cut_through(
+        g,
+        [&](std::int32_t tag) {
+          return !scg::is_nucleus(crs.generators[static_cast<std::size_t>(tag)].kind);
+        },
+        scg::total_exchange_packets(crs), cfg);
+    std::printf("%-18s %-6s N=%-5llu d_I=%-2d cycles=%-8llu avg-lat=%.1f\n",
+                crs.name.c_str(), "TE/ct", 120ull, crs.intercluster_degree(),
+                static_cast<unsigned long long>(r.completion_cycles),
+                r.avg_latency);
+    const scg::Graph hc = scg::make_hypercube(7);
+    scg::CutThroughConfig hcfg;
+    hcfg.flits_per_packet = 4;
+    hcfg.offchip_cycles_per_flit = 7;  // one node per chip, pin budget split
+    const scg::CutThroughResult hr = scg::simulate_cut_through(
+        hc, [](std::int32_t) { return true; }, scg::total_exchange_packets(hc),
+        hcfg);
+    std::printf("%-18s %-6s N=%-5llu d_I=%-2d cycles=%-8llu avg-lat=%.1f\n",
+                "hypercube(7)", "TE/ct", 128ull, 7,
+                static_cast<unsigned long long>(hr.completion_cycles),
+                hr.avg_latency);
+  }
+
+  std::printf(
+      "\nExpectation (paper): the small intercluster degree of super Cayley\n"
+      "MCMPs gives wide off-chip links (short per-hop occupancy), so TE and\n"
+      "random routing complete in fewer cycles than on a hypercube whose\n"
+      "pin budget is split over log2 N links — under store-and-forward and\n"
+      "cut-through switching alike (Section 4.2).\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// google-benchmark microbenchmarks for the library's hot kernels:
+// rank/unrank, generator application, game-solver routing, and BFS
+// throughput (serial vs parallel).
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "analysis/sweeps.hpp"
+#include "networks/router.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void BM_Unrank(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::uint64_t r = 0;
+  const std::uint64_t n = scg::factorial(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scg::Permutation::unrank(k, r));
+    r = (r + 0x9e3779b9) % n;
+  }
+}
+BENCHMARK(BM_Unrank)->Arg(7)->Arg(10)->Arg(13);
+
+void BM_RankRoundTrip(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::uint64_t r = 0;
+  const std::uint64_t n = scg::factorial(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scg::Permutation::unrank(k, r).rank());
+    r = (r + 0x9e3779b9) % n;
+  }
+}
+BENCHMARK(BM_RankRoundTrip)->Arg(7)->Arg(10)->Arg(13);
+
+void BM_GeneratorApply(benchmark::State& state) {
+  scg::Permutation u = scg::Permutation::identity(10);
+  const scg::Generator gens[4] = {scg::transposition(4), scg::insertion(4),
+                                  scg::swap_boxes(2, 3), scg::rotation(1, 3)};
+  int i = 0;
+  for (auto _ : state) {
+    gens[i & 3].apply(u);
+    benchmark::DoNotOptimize(u);
+    ++i;
+  }
+}
+BENCHMARK(BM_GeneratorApply);
+
+void BM_RouteMacroStar(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_macro_star(3, 3);  // k = 10
+  const scg::Permutation target = scg::Permutation::identity(net.k());
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+  for (auto _ : state) {
+    const scg::Permutation u = scg::Permutation::unrank(net.k(), pick(rng));
+    benchmark::DoNotOptimize(scg::route(net, u, target));
+  }
+}
+BENCHMARK(BM_RouteMacroStar);
+
+void BM_RouteCompleteRotationStar(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_complete_rotation_star(3, 3);
+  const scg::Permutation target = scg::Permutation::identity(net.k());
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+  for (auto _ : state) {
+    const scg::Permutation u = scg::Permutation::unrank(net.k(), pick(rng));
+    benchmark::DoNotOptimize(scg::route(net, u, target));
+  }
+}
+BENCHMARK(BM_RouteCompleteRotationStar);
+
+void BM_RouteMacroIS(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_macro_is(3, 3);
+  const scg::Permutation target = scg::Permutation::identity(net.k());
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+  for (auto _ : state) {
+    const scg::Permutation u = scg::Permutation::unrank(net.k(), pick(rng));
+    benchmark::DoNotOptimize(scg::route(net, u, target));
+  }
+}
+BENCHMARK(BM_RouteMacroIS);
+
+void BM_RouteStar(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_star_graph(10);
+  const scg::Permutation target = scg::Permutation::identity(10);
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+  for (auto _ : state) {
+    const scg::Permutation u = scg::Permutation::unrank(10, pick(rng));
+    benchmark::DoNotOptimize(scg::route(net, u, target));
+  }
+}
+BENCHMARK(BM_RouteStar);
+
+void BM_RouteRecursiveMacroStar(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_recursive_macro_star(2, 2, 2);
+  const scg::Permutation target = scg::Permutation::identity(9);
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+  for (auto _ : state) {
+    const scg::Permutation u = scg::Permutation::unrank(9, pick(rng));
+    benchmark::DoNotOptimize(scg::route(net, u, target));
+  }
+}
+BENCHMARK(BM_RouteRecursiveMacroStar);
+
+void BM_GreedyDesignationRoute(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  std::uniform_int_distribution<std::uint64_t> pick(0, scg::factorial(10) - 1);
+  for (auto _ : state) {
+    const scg::Permutation u = scg::Permutation::unrank(10, pick(rng));
+    benchmark::DoNotOptimize(
+        scg::solve_transposition_game_greedy_designation(u, 3, 3));
+  }
+}
+BENCHMARK(BM_GreedyDesignationRoute);
+
+void BM_BfsSerial(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_macro_star(2, 3);  // k = 7, N = 5040
+  const scg::CayleyView view{&net};
+  const std::uint64_t src = scg::Permutation::identity(net.k()).rank();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scg::bfs_distances(view, src));
+  }
+}
+BENCHMARK(BM_BfsSerial);
+
+void BM_BfsParallel(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_macro_star(2, 4);  // k = 9, N = 362880
+  const scg::CayleyView view{&net};
+  const std::uint64_t src = scg::Permutation::identity(net.k()).rank();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scg::bfs_distances_parallel(view, src));
+  }
+}
+BENCHMARK(BM_BfsParallel);
+
+}  // namespace

@@ -1,0 +1,98 @@
+// Routing-quality harness (Section 2 algorithms as routers): compares the
+// game-solver path lengths against the exact BFS distances, per network, and
+// quantifies the gain of the rotation color-offset search (Figure 3's
+// insight).
+#include <cstdio>
+#include <random>
+
+#include "analysis/sweeps.hpp"
+#include "networks/router.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+void report_optimality(const scg::NetworkSpec& net) {
+  // Exact distances from the identity; the solver routes every node to the
+  // identity, so stretch = solver_steps / bfs_distance per source.
+  const scg::CayleyView view{&net};
+  const std::uint64_t src = scg::Permutation::identity(net.k()).rank();
+  // BFS towards the identity: for directed graphs distances to the identity
+  // come from the reverse view.
+  std::vector<std::uint16_t> dist;
+  if (net.directed) {
+    const scg::ReverseCayleyView rview(net);
+    dist = scg::bfs_distances(rview, src);
+  } else {
+    dist = scg::bfs_distances(view, src);
+  }
+  const scg::Permutation target = scg::Permutation::identity(net.k());
+  double stretch_sum = 0.0;
+  double stretch_max = 0.0;
+  std::uint64_t optimal = 0;
+  std::uint64_t count = 0;
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    if (r == src) continue;
+    const scg::Permutation u = scg::Permutation::unrank(net.k(), r);
+    const int steps = scg::route_length(net, u, target);
+    const double stretch = static_cast<double>(steps) / dist[r];
+    stretch_sum += stretch;
+    stretch_max = std::max(stretch_max, stretch);
+    if (steps == dist[r]) ++optimal;
+    ++count;
+  }
+  std::printf("%-20s N=%-6llu avg-stretch=%-6.3f max-stretch=%-6.2f "
+              "optimal-routes=%.1f%%\n",
+              net.name.c_str(), static_cast<unsigned long long>(net.num_nodes()),
+              stretch_sum / count, stretch_max, 100.0 * optimal / count);
+}
+
+void report_offset_gain(int l, int n) {
+  // Fixed color designation (offset 0) vs best-of-all-offsets, over all
+  // sources of the complete-rotation insertion game (Figures 2 vs 3).
+  const int k = n * l + 1;
+  std::uint64_t fixed_total = 0;
+  std::uint64_t best_total = 0;
+  int fixed_worst = 0;
+  int best_worst = 0;
+  for (std::uint64_t r = 0; r < scg::factorial(k); ++r) {
+    const scg::Permutation u = scg::Permutation::unrank(k, r);
+    const int fixed = static_cast<int>(
+        scg::solve_insertion_game_with_offset(
+            u, l, n, scg::BoxMoveStyle::kCompleteRotation, 0)
+            .size());
+    const int best = static_cast<int>(
+        scg::solve_insertion_game(u, l, n, scg::BoxMoveStyle::kCompleteRotation)
+            .size());
+    fixed_total += fixed;
+    best_total += best;
+    fixed_worst = std::max(fixed_worst, fixed);
+    best_worst = std::max(best_worst, best);
+  }
+  const double nperm = static_cast<double>(scg::factorial(k));
+  std::printf("complete-rotation insertion game l=%d n=%d: fixed-offset "
+              "avg=%.2f worst=%d;  best-offset avg=%.2f worst=%d\n",
+              l, n, fixed_total / nperm, fixed_worst, best_total / nperm,
+              best_worst);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Router optimality: solver path length vs BFS distance ===\n");
+  report_optimality(scg::make_star_graph(7));
+  report_optimality(scg::make_macro_star(2, 3));
+  report_optimality(scg::make_macro_star(3, 2));
+  report_optimality(scg::make_complete_rotation_star(3, 2));
+  report_optimality(scg::make_macro_rotator(3, 2));
+  report_optimality(scg::make_macro_is(3, 2));
+  report_optimality(scg::make_rotation_is(3, 2));
+  report_optimality(scg::make_insertion_selection(7));
+  report_optimality(scg::make_rotator_graph(7));
+  report_optimality(scg::make_bubble_sort_graph(7));     // optimal by design
+  report_optimality(scg::make_transposition_network(7)); // optimal by design
+
+  std::printf("\n=== Figure 3 insight: color-offset search gain ===\n");
+  report_offset_gain(3, 2);
+  report_offset_gain(2, 3);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces the paper's Figures 1-3: plays of the ball-arrangement game
+// with l = 3 boxes of n = 2 balls (k = 7 symbols), rendered step by step.
+//
+//   Figure 1 — boxes moved by rotations, balls by transpositions; a play in
+//              which ball 1 repeatedly surfaces as the outside ball.
+//   Figure 2 — balls moved by insertions, boxes assigned colors 2,3,1
+//              (cyclic offset 1), source 5342671.
+//   Figure 3 — the same game with a better color assignment, showing the
+//              reduction in steps.
+#include <cstdio>
+
+#include "core/bag.hpp"
+
+namespace {
+
+void show(const char* title, const scg::Permutation& start,
+          const std::vector<scg::Generator>& word) {
+  const scg::GameTrace trace = scg::make_trace(start, word);
+  std::printf("%s\n", title);
+  std::printf("%s", trace.render(3, 2).c_str());
+  std::printf("solved in %d steps; final state %s\n\n", trace.steps(),
+              trace.final_state().to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const int l = 3;
+  const int n = 2;
+  const scg::Permutation source = scg::Permutation::parse("5342671");
+
+  // Figure 1: rotation boxes + transposition balls (complete-RS moves).
+  show("=== Figure 1: boxes by rotation, balls by transposition ===", source,
+       scg::solve_transposition_game(source, l, n,
+                                     scg::BoxMoveStyle::kCompleteRotation));
+
+  // Figure 2: insertion balls, fixed box colors 2,3,1 (offset 1).
+  show("=== Figure 2: balls by insertion, boxes colored 2,3,1 ===", source,
+       scg::solve_insertion_game_with_offset(
+           source, l, n, scg::BoxMoveStyle::kCompleteRotation, 1));
+
+  // Figure 3: insertion balls, best color assignment.
+  show("=== Figure 3: balls by insertion, best color assignment ===", source,
+       scg::solve_insertion_game(source, l, n,
+                                 scg::BoxMoveStyle::kCompleteRotation));
+
+  std::printf("The Figure 3 play uses a different box-color designation and\n"
+              "needs no more steps than Figure 2's fixed assignment — the\n"
+              "paper's point about the freedom of assigning colors.\n");
+  return 0;
+}

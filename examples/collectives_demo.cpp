@@ -1,0 +1,44 @@
+// Demonstrates the collective-communication layer: broadcast and multinode
+// broadcast on a super Cayley graph under both port models, next to their
+// universal lower bounds (the paper's conclusions claims).
+#include <cstdio>
+
+#include "collectives/collectives.hpp"
+#include "topology/metrics.hpp"
+
+int main(int argc, char** argv) {
+  const int l = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int n = argc > 2 ? std::atoi(argv[2]) : 2;
+  const scg::NetworkSpec net = scg::make_complete_rotation_star(l, n);
+  const scg::Graph g = scg::materialize(net);
+  const scg::DistanceStats s = scg::network_distance_stats(net, false);
+  const std::uint64_t root = scg::Permutation::identity(net.k()).rank();
+
+  std::printf("network: %s (N=%llu, degree=%d, diameter=%d)\n\n",
+              net.name.c_str(),
+              static_cast<unsigned long long>(net.num_nodes()), net.degree(),
+              s.eccentricity);
+
+  const scg::CollectiveResult b1 = scg::broadcast_single_port(g, root);
+  std::printf("broadcast, single-port: %d rounds (lower bound %d), %llu msgs\n",
+              b1.rounds,
+              scg::broadcast_single_port_lower_bound(g.num_nodes()),
+              static_cast<unsigned long long>(b1.messages));
+
+  const scg::CollectiveResult ba = scg::broadcast_all_port(g, root);
+  std::printf("broadcast, all-port:    %d rounds (= diameter %d)\n", ba.rounds,
+              s.eccentricity);
+
+  const scg::CollectiveResult m1 = scg::mnb_single_port(g);
+  std::printf("MNB, single-port:       %d rounds (lower bound %d)\n", m1.rounds,
+              scg::mnb_single_port_lower_bound(g.num_nodes()));
+
+  const scg::CollectiveResult ma = scg::mnb_all_port(g);
+  std::printf("MNB, all-port:          %d rounds (lower bound %d)\n", ma.rounds,
+              scg::mnb_all_port_lower_bound(g.num_nodes(), net.degree(),
+                                            s.eccentricity));
+  std::printf("\nEvery node now holds every other node's packet; the all-port\n"
+              "round count sits within a small factor of the (N-1)/d\n"
+              "bandwidth bound, as the paper claims asymptotically.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Runs a total-exchange on an MCMP-packaged super Cayley graph and on a
+// hypercube of comparable size, printing per-network completion times —
+// a miniature of the paper's Section 4.3 argument.
+#include <cstdio>
+
+#include "sim/mcmp.hpp"
+#include "sim/workloads.hpp"
+#include "topology/baselines.hpp"
+#include "topology/metrics.hpp"
+
+int main() {
+  std::printf("=== Total exchange on MCMPs (w = 1 pin budget per node) ===\n\n");
+
+  {
+    const scg::NetworkSpec net = scg::make_complete_rotation_star(2, 2);
+    const scg::Graph g = scg::materialize(net);
+    scg::SimConfig cfg;
+    cfg.offchip_cycles = net.intercluster_degree();  // w split over d_I links
+    const scg::SimResult r = scg::simulate_mcmp(
+        g,
+        [&](std::int32_t tag) {
+          return !scg::is_nucleus(
+              net.generators[static_cast<std::size_t>(tag)].kind);
+        },
+        scg::total_exchange_packets(net), cfg);
+    std::printf("%s: N=120, intercluster degree=%d\n", net.name.c_str(),
+                net.intercluster_degree());
+    std::printf("  completion=%llu cycles, avg latency=%.1f, offchip hops=%llu\n\n",
+                static_cast<unsigned long long>(r.completion_cycles),
+                r.avg_latency, static_cast<unsigned long long>(r.offchip_hops));
+  }
+
+  {
+    const scg::Graph g = scg::make_hypercube(7);
+    scg::SimConfig cfg;
+    cfg.offchip_cycles = 7;  // one node per chip: w split over log2 N links
+    const scg::SimResult r = scg::simulate_mcmp(
+        g, [](std::int32_t) { return true; }, scg::total_exchange_packets(g), cfg);
+    std::printf("hypercube(7): N=128, every link off-chip (degree 7)\n");
+    std::printf("  completion=%llu cycles, avg latency=%.1f, offchip hops=%llu\n",
+                static_cast<unsigned long long>(r.completion_cycles),
+                r.avg_latency, static_cast<unsigned long long>(r.offchip_hops));
+  }
+
+  std::printf("\nThe super Cayley MCMP finishes faster because its pin budget\n"
+              "is split over far fewer off-chip links (paper Section 4.3).\n");
+  return 0;
+}

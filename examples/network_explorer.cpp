@@ -1,0 +1,80 @@
+// Interactive-ish explorer: pass a family name and (l, n) and get the
+// network's full property sheet.  Usage:
+//   network_explorer [family] [l] [n]
+// family in {MS, RS, cRS, MR, RR, cRR, IS, MIS, RIS, cRIS, star, rotator}
+// Defaults to "cRS 3 2".
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "analysis/formulas.hpp"
+#include "networks/super_cayley.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+scg::NetworkSpec make(const std::string& family, int l, int n) {
+  if (family == "MS") return scg::make_macro_star(l, n);
+  if (family == "RS") return scg::make_rotation_star(l, n);
+  if (family == "cRS") return scg::make_complete_rotation_star(l, n);
+  if (family == "MR") return scg::make_macro_rotator(l, n);
+  if (family == "RR") return scg::make_rotation_rotator(l, n);
+  if (family == "cRR") return scg::make_complete_rotation_rotator(l, n);
+  if (family == "IS") return scg::make_insertion_selection(l * n + 1);
+  if (family == "MIS") return scg::make_macro_is(l, n);
+  if (family == "RIS") return scg::make_rotation_is(l, n);
+  if (family == "cRIS") return scg::make_complete_rotation_is(l, n);
+  if (family == "star") return scg::make_star_graph(l * n + 1);
+  if (family == "rotator") return scg::make_rotator_graph(l * n + 1);
+  std::fprintf(stderr, "unknown family '%s'\n", family.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string family = argc > 1 ? argv[1] : "cRS";
+  const int l = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int n = argc > 3 ? std::atoi(argv[3]) : 2;
+
+  const scg::NetworkSpec net = make(family, l, n);
+  std::printf("=== %s ===\n", net.name.c_str());
+  std::printf("symbols k           : %d\n", net.k());
+  std::printf("nodes N = k!        : %llu\n",
+              static_cast<unsigned long long>(net.num_nodes()));
+  std::printf("directed            : %s\n", net.directed ? "yes" : "no");
+  std::printf("degree              : %d\n", net.degree());
+  std::printf("nucleus degree      : %d\n", net.nucleus_degree());
+  std::printf("intercluster degree : %d\n", net.intercluster_degree());
+  std::printf("cluster size (n+1)! : %llu\n",
+              static_cast<unsigned long long>(net.cluster_size()));
+  std::printf("generators          :");
+  for (const scg::Generator& g : net.generators) {
+    std::printf(" %s", g.name().c_str());
+  }
+  std::printf("\n");
+  std::printf("diameter bound      : %d\n",
+              scg::diameter_upper_bound(net.family, net.l, net.n));
+
+  if (net.num_nodes() <= 4'000'000) {
+    const scg::DistanceStats s = scg::network_distance_stats(net);
+    std::printf("exact diameter      : %d\n", s.eccentricity);
+    std::printf("exact avg distance  : %.3f\n", s.average);
+    std::printf("alpha (D / D_L)     : %.3f\n",
+                scg::diameter_ratio(s.eccentricity,
+                                    static_cast<double>(net.num_nodes()),
+                                    net.degree()));
+    const scg::DistanceStats ic = scg::intercluster_distance_stats(net);
+    std::printf("intercluster diam   : %d\n", ic.eccentricity);
+    std::printf("intercluster avg    : %.3f\n", ic.average);
+    std::printf("distance histogram  :");
+    for (std::size_t d = 0; d < s.histogram.size(); ++d) {
+      std::printf(" %llu", static_cast<unsigned long long>(s.histogram[d]));
+    }
+    std::printf("\n");
+  } else {
+    std::printf("(instance too large for exact BFS; bound shown above)\n");
+  }
+  return 0;
+}

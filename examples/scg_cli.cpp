@@ -1,0 +1,143 @@
+// scg_cli — command-line front end to the library.
+//
+//   scg_cli info <family> <l> <n>                 property sheet
+//   scg_cli route <family> <l> <n> <from> <to>    play the game between nodes
+//   scg_cli trace <family> <l> <n> <from>         render the play to identity
+//   scg_cli dot <family> <l> <n>                  Graphviz DOT on stdout
+//   scg_cli histogram <family> <l> <n>            distance histogram (TSV)
+//   scg_cli families                              list known family names
+//
+// <family> ∈ {MS, RS, cRS, MR, RR, cRR, IS, MIS, RIS, cRIS, star, rotator,
+//             pancake, bubble, transposition}; permutations are digit
+//             strings like 5342671 (k <= 9).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "analysis/formulas.hpp"
+#include "networks/router.hpp"
+#include "topology/io.hpp"
+#include "topology/metrics.hpp"
+
+namespace {
+
+scg::NetworkSpec make(const std::string& family, int l, int n) {
+  const int k = l * n + 1;
+  if (family == "MS") return scg::make_macro_star(l, n);
+  if (family == "RS") return scg::make_rotation_star(l, n);
+  if (family == "cRS") return scg::make_complete_rotation_star(l, n);
+  if (family == "MR") return scg::make_macro_rotator(l, n);
+  if (family == "RR") return scg::make_rotation_rotator(l, n);
+  if (family == "cRR") return scg::make_complete_rotation_rotator(l, n);
+  if (family == "IS") return scg::make_insertion_selection(k);
+  if (family == "MIS") return scg::make_macro_is(l, n);
+  if (family == "RIS") return scg::make_rotation_is(l, n);
+  if (family == "cRIS") return scg::make_complete_rotation_is(l, n);
+  if (family == "star") return scg::make_star_graph(k);
+  if (family == "rotator") return scg::make_rotator_graph(k);
+  if (family == "pancake") return scg::make_pancake_graph(k);
+  if (family == "bubble") return scg::make_bubble_sort_graph(k);
+  if (family == "transposition") return scg::make_transposition_network(k);
+  std::fprintf(stderr, "unknown family '%s' (try: scg_cli families)\n",
+               family.c_str());
+  std::exit(2);
+}
+
+int cmd_info(const scg::NetworkSpec& net) {
+  std::printf("%s: k=%d, N=%llu, degree=%d (%d nucleus + %d intercluster), %s\n",
+              net.name.c_str(), net.k(),
+              static_cast<unsigned long long>(net.num_nodes()), net.degree(),
+              net.nucleus_degree(), net.intercluster_degree(),
+              net.directed ? "directed" : "undirected");
+  std::printf("generators:");
+  for (const scg::Generator& g : net.generators) std::printf(" %s", g.name().c_str());
+  std::printf("\ndiameter bound: %d\n", scg::diameter_upper_bound(net));
+  if (net.num_nodes() <= 4'000'000) {
+    const scg::DistanceStats s = scg::network_distance_stats(net);
+    std::printf("exact diameter: %d   average distance: %.3f   alpha: %.3f\n",
+                s.eccentricity, s.average,
+                scg::diameter_ratio(s.eccentricity,
+                                    static_cast<double>(net.num_nodes()),
+                                    net.degree()));
+  }
+  return 0;
+}
+
+int cmd_route(const scg::NetworkSpec& net, const std::string& from_s,
+              const std::string& to_s) {
+  const scg::Permutation from = scg::Permutation::parse(from_s);
+  const scg::Permutation to = scg::Permutation::parse(to_s);
+  const auto word = scg::route(net, from, to);
+  std::printf("%s -> %s in %zu hops:", from_s.c_str(), to_s.c_str(), word.size());
+  for (const scg::Generator& g : word) std::printf(" %s", g.name().c_str());
+  std::printf("\n");
+  const std::string err = scg::check_route(net, from, to, word);
+  if (!err.empty()) {
+    std::fprintf(stderr, "internal error: %s\n", err.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_trace(const scg::NetworkSpec& net, const std::string& from_s) {
+  const scg::Permutation from = scg::Permutation::parse(from_s);
+  const scg::GameTrace t =
+      scg::route_trace(net, from, scg::Permutation::identity(net.k()));
+  std::printf("%s", t.render(net.l, net.n).c_str());
+  std::printf("solved in %d steps\n", t.steps());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: scg_cli info|route|trace|dot|histogram|families ...\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "families") {
+    std::printf("MS RS cRS MR RR cRR IS MIS RIS cRIS star rotator pancake "
+                "bubble transposition\n");
+    return 0;
+  }
+  if (argc < 5) {
+    std::fprintf(stderr, "usage: scg_cli %s <family> <l> <n> ...\n", cmd.c_str());
+    return 2;
+  }
+  const scg::NetworkSpec net = make(argv[2], std::atoi(argv[3]), std::atoi(argv[4]));
+  if (cmd == "info") return cmd_info(net);
+  if (cmd == "route") {
+    if (argc < 7) {
+      std::fprintf(stderr, "usage: scg_cli route <family> <l> <n> <from> <to>\n");
+      return 2;
+    }
+    return cmd_route(net, argv[5], argv[6]);
+  }
+  if (cmd == "trace") {
+    if (argc < 6) {
+      std::fprintf(stderr, "usage: scg_cli trace <family> <l> <n> <from>\n");
+      return 2;
+    }
+    return cmd_trace(net, argv[5]);
+  }
+  if (cmd == "dot") {
+    if (net.num_nodes() > 50000) {
+      std::fprintf(stderr, "refusing to dump %llu nodes as DOT\n",
+                   static_cast<unsigned long long>(net.num_nodes()));
+      return 1;
+    }
+    scg::write_cayley_dot(std::cout, net);
+    return 0;
+  }
+  if (cmd == "histogram") {
+    scg::write_histogram_tsv(std::cout, scg::network_distance_stats(net));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

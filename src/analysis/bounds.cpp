@@ -1,0 +1,66 @@
+#include "analysis/bounds.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace scg {
+
+double universal_diameter_lower_bound(double num_nodes, int degree) {
+  if (num_nodes <= 1) return 0.0;
+  if (degree <= 1) return num_nodes - 1;           // path-like
+  if (degree == 2) return std::floor(num_nodes / 2.0);  // ring
+  const double b = static_cast<double>(degree - 1);
+  return std::log(num_nodes) / std::log(b) +
+         std::log(1.0 - 2.0 / static_cast<double>(degree)) / std::log(b);
+}
+
+double universal_average_distance_lower_bound(double num_nodes, int degree,
+                                              bool directed) {
+  if (num_nodes <= 1.0) return 0.0;
+  if (degree <= 1) return num_nodes / 2.0;
+  const double growth =
+      directed ? static_cast<double>(degree) : static_cast<double>(degree - 1);
+  double remaining = num_nodes - 1.0;  // nodes besides the source
+  double level_cap = degree;           // at most d nodes at distance 1
+  double sum = 0.0;
+  double r = 1.0;
+  while (remaining > 0.0) {
+    const double here = std::min(remaining, level_cap);
+    sum += here * r;
+    remaining -= here;
+    level_cap *= growth;
+    r += 1.0;
+    if (r > 1e6) throw std::logic_error("average bound failed to converge");
+  }
+  return sum / (num_nodes - 1.0);
+}
+
+double diameter_ratio(double diameter, double num_nodes, int degree) {
+  const double lb = universal_diameter_lower_bound(num_nodes, degree);
+  return lb > 0 ? diameter / lb : 0.0;
+}
+
+double log2_factorial(int k) {
+  return std::lgamma(static_cast<double>(k) + 1.0) / std::log(2.0);
+}
+
+double bisection_bandwidth_lower_bound(double num_nodes, double w,
+                                       double avg_intercluster_distance) {
+  if (avg_intercluster_distance <= 0) return 0.0;
+  return w * num_nodes / (4.0 * avg_intercluster_distance);
+}
+
+double hypercube_bisection_bandwidth(double num_nodes, double w) {
+  const double d = std::log2(num_nodes);
+  return (num_nodes / 2.0) * (w / d);
+}
+
+double kary_ncube_bisection_bandwidth(int a, int m, double w) {
+  double n = 1.0;
+  for (int i = 0; i < m; ++i) n *= a;
+  const double cut_links = 2.0 * n / a;
+  const double link_bw = w / (2.0 * m);
+  return cut_links * link_bw;
+}
+
+}  // namespace scg

@@ -1,0 +1,43 @@
+// Universal lower bounds and optimality ratios (paper Section 4.2, eq. 2).
+#pragma once
+
+#include <cstdint>
+
+namespace scg {
+
+/// Universal diameter lower bound for an N-node degree-d network (eq. 2):
+///   D_L(N, d) = log_{d-1} N + log_{d-1}(1 - 2/d),  d >= 3.
+/// For d <= 2 the Moore bound degenerates; we return the exact ring/path
+/// bound instead.
+double universal_diameter_lower_bound(double num_nodes, int degree);
+
+/// Moore-style lower bound on the *average* distance of an N-node degree-d
+/// network: place as many nodes as possible at each distance and average
+/// the resulting best-case profile.  Undirected graphs hold at most
+/// d(d-1)^{r-1} nodes at distance r; directed graphs (out-degree d, where
+/// back-arcs need not exist) hold up to d^r, so pass `directed=true` for
+/// them to keep the bound valid.
+double universal_average_distance_lower_bound(double num_nodes, int degree,
+                                              bool directed = false);
+
+/// Finite-N diameter-to-lower-bound ratio alpha = D / D_L(N, d)
+/// (Section 4.2).  The paper's Table 1 lists lim_{N->inf} alpha.
+double diameter_ratio(double diameter, double num_nodes, int degree);
+
+/// log2(N!) via lgamma — the x-axis of the paper's Figures 4-6 for
+/// permutation networks whose N overflows 64 bits.
+double log2_factorial(int k);
+
+/// Theorem 4.9: bisection bandwidth of a super Cayley MCMP is at least
+/// w*N / (4 * avg_intercluster_distance), with w the per-node aggregate
+/// off-chip bandwidth.
+double bisection_bandwidth_lower_bound(double num_nodes, double w,
+                                       double avg_intercluster_distance);
+
+/// Reference bisection bandwidths under the same constant-pinout model
+/// (node off-chip bandwidth w split over its off-chip links):
+/// hypercube: (N/2) * (w/log2 N); a-ary m-cube: 2 a^{m-1} * (w/(2m)).
+double hypercube_bisection_bandwidth(double num_nodes, double w);
+double kary_ncube_bisection_bandwidth(int a, int m, double w);
+
+}  // namespace scg

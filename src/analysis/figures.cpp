@@ -1,0 +1,217 @@
+#include "analysis/figures.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "analysis/bounds.hpp"
+#include "analysis/formulas.hpp"
+#include "topology/baselines.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+/// Exhaustive BFS is practical up to this many nodes (k = 10 -> 3.6M).
+constexpr std::uint64_t kMaxExactNodes = 4'000'000;
+
+SeriesPoint network_degree_point(const NetworkSpec& net) {
+  return SeriesPoint{log2_factorial(net.k()), static_cast<double>(net.degree()),
+                     net.name, true};
+}
+
+SeriesPoint network_diameter_point(const NetworkSpec& net, bool measure_exact) {
+  SeriesPoint p;
+  p.log2_nodes = log2_factorial(net.k());
+  p.label = net.name;
+  if (measure_exact && net.num_nodes() <= kMaxExactNodes) {
+    p.value = static_cast<double>(network_distance_stats(net).eccentricity);
+    p.exact = true;
+  } else {
+    p.value = static_cast<double>(diameter_upper_bound(net.family, net.l, net.n));
+    p.exact = false;
+  }
+  return p;
+}
+
+template <typename Make>
+Series super_cayley_series(const std::string& name, Make make,
+                           SeriesPoint (*point)(const NetworkSpec&, bool),
+                           bool measure_exact) {
+  Series s;
+  s.name = name;
+  for (const auto& [l, n] : paper_ln_parameters()) {
+    s.points.push_back(point(make(l, n), measure_exact));
+  }
+  return s;
+}
+
+Series star_series(double (*value)(int), const std::string& name) {
+  Series s;
+  s.name = name;
+  for (int k = 4; k <= 12; ++k) {
+    s.points.push_back(SeriesPoint{log2_factorial(k), value(k),
+                                   "star(" + std::to_string(k) + ")", true});
+  }
+  return s;
+}
+
+Series hypercube_series(double (*value)(int), const std::string& name) {
+  Series s;
+  s.name = name;
+  for (int d = 6; d <= 24; d += 2) {
+    s.points.push_back(SeriesPoint{static_cast<double>(d), value(d),
+                                   "hypercube d=" + std::to_string(d), true});
+  }
+  return s;
+}
+
+Series torus2d_series(double (*value)(int), const std::string& name) {
+  Series s;
+  s.name = name;
+  for (int side = 8; side <= 4096; side *= 2) {
+    s.points.push_back(SeriesPoint{2.0 * std::log2(side), value(side),
+                                   "torus2d " + std::to_string(side) + "x" +
+                                       std::to_string(side),
+                                   true});
+  }
+  return s;
+}
+
+Series torus3d_series(double (*value)(int), const std::string& name) {
+  Series s;
+  s.name = name;
+  for (int side = 4; side <= 256; side *= 2) {
+    s.points.push_back(SeriesPoint{3.0 * std::log2(side), value(side),
+                                   "torus3d " + std::to_string(side) + "^3",
+                                   true});
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> paper_ln_parameters() {
+  return {{2, 2}, {2, 3}, {2, 4}, {3, 3}};
+}
+
+std::vector<Series> figure4_degree_series() {
+  std::vector<Series> out;
+  out.push_back(torus2d_series([](int) { return 4.0; }, "2-D torus"));
+  out.push_back(torus3d_series([](int) { return 6.0; }, "3-D torus"));
+  out.push_back(hypercube_series([](int d) { return static_cast<double>(d); },
+                                 "hypercube"));
+  out.push_back(star_series([](int k) { return static_cast<double>(k - 1); },
+                            "star"));
+  {
+    Series ms;
+    ms.name = "MS";
+    Series rr;
+    rr.name = "RR";
+    for (const auto& [l, n] : paper_ln_parameters()) {
+      ms.points.push_back(network_degree_point(make_macro_star(l, n)));
+      rr.points.push_back(network_degree_point(make_rotation_rotator(l, n)));
+    }
+    out.push_back(std::move(ms));
+    out.push_back(std::move(rr));
+  }
+  return out;
+}
+
+std::vector<Series> figure5_diameter_series(bool measure_exact) {
+  std::vector<Series> out;
+  out.push_back(torus2d_series(
+      [](int side) { return static_cast<double>(torus_2d_diameter(side, side)); },
+      "2-D torus"));
+  out.push_back(torus3d_series(
+      [](int side) {
+        return static_cast<double>(torus_3d_diameter(side, side, side));
+      },
+      "3-D torus"));
+  out.push_back(hypercube_series(
+      [](int d) { return static_cast<double>(hypercube_diameter(d)); },
+      "hypercube"));
+  out.push_back(star_series(
+      [](int k) { return static_cast<double>((3 * (k - 1)) / 2); }, "star"));
+  out.push_back(super_cayley_series("MS", make_macro_star,
+                                    network_diameter_point, measure_exact));
+  out.push_back(super_cayley_series("RR", make_rotation_rotator,
+                                    network_diameter_point, measure_exact));
+  out.push_back(super_cayley_series("RIS", make_rotation_is,
+                                    network_diameter_point, measure_exact));
+  return out;
+}
+
+std::vector<Series> figure6_cost_series(bool measure_exact) {
+  // degree * diameter: combine the two generators point-wise.
+  std::vector<Series> degrees = figure4_degree_series();
+  std::vector<Series> diameters = figure5_diameter_series(measure_exact);
+  std::vector<Series> out;
+  for (const Series& deg : degrees) {
+    for (const Series& dia : diameters) {
+      if (deg.name != dia.name) continue;
+      Series s;
+      s.name = deg.name;
+      for (std::size_t i = 0; i < deg.points.size() && i < dia.points.size(); ++i) {
+        SeriesPoint p = dia.points[i];
+        p.value *= deg.points[i].value;
+        s.points.push_back(p);
+      }
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<Table1Row> table1_rows(bool measure_exact) {
+  std::vector<Table1Row> rows;
+  auto add_cayley = [&](const NetworkSpec& net) {
+    Table1Row r;
+    r.network = family_name(net.family);
+    r.paper_ratio = paper_asymptotic_ratio(net.family);
+    r.sample = net.name;
+    const double diameter =
+        (measure_exact && net.num_nodes() <= kMaxExactNodes)
+            ? static_cast<double>(network_distance_stats(net).eccentricity)
+            : static_cast<double>(diameter_upper_bound(net.family, net.l, net.n));
+    r.measured_ratio =
+        diameter_ratio(diameter, static_cast<double>(net.num_nodes()), net.degree());
+    rows.push_back(r);
+  };
+  // Balanced instances (l = Theta(n)): use (3,3) — k = 10.
+  add_cayley(make_star_graph(10));
+  add_cayley(make_macro_star(3, 3));
+  add_cayley(make_complete_rotation_star(3, 3));
+  add_cayley(make_macro_rotator(3, 3));
+  add_cayley(make_macro_is(3, 3));
+  add_cayley(make_complete_rotation_rotator(3, 3));
+  add_cayley(make_complete_rotation_is(3, 3));
+
+  auto add_fixed = [&](const std::string& name, double diameter, double n,
+                       int degree, const std::string& sample) {
+    Table1Row r;
+    r.network = name;
+    r.paper_ratio = 0.0;  // grows without bound; no finite claim
+    r.measured_ratio = diameter_ratio(diameter, n, degree);
+    r.sample = sample;
+    rows.push_back(r);
+  };
+  add_fixed("hypercube", 20, std::pow(2.0, 20), 20, "2^20 nodes");
+  add_fixed("2-D torus", torus_2d_diameter(1024, 1024), 1024.0 * 1024.0, 4,
+            "1024x1024");
+  add_fixed("3-D torus", torus_3d_diameter(64, 64, 64), 64.0 * 64.0 * 64.0, 6,
+            "64^3");
+  return rows;
+}
+
+void print_series(std::ostream& os, const std::vector<Series>& series,
+                  const std::string& value_name) {
+  os << "series\tinstance\tlog2(N)\t" << value_name << "\texact\n";
+  for (const Series& s : series) {
+    for (const SeriesPoint& p : s.points) {
+      os << s.name << "\t" << p.label << "\t" << p.log2_nodes << "\t" << p.value
+         << "\t" << (p.exact ? "yes" : "bound") << "\n";
+    }
+  }
+}
+
+}  // namespace scg

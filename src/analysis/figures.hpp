@@ -1,0 +1,54 @@
+// Data-series generation for the paper's evaluation artifacts:
+//   Figure 4 — node degree vs log2(N)
+//   Figure 5 — diameter vs log2(N)
+//   Figure 6 — degree * diameter vs log2(N)
+//   Table 1  — asymptotic diameter-to-lower-bound ratios
+// Series reproduce the paper's parameter choices: MS/RR/RIS at
+// (l,n) = (2,2),(2,3),(2,4),(3,3) and classic networks over log2(N) in
+// [6, 24].  Where an instance is enumerable, the diameter is the *exact*
+// BFS-measured value; otherwise the algorithmic upper bound is used and
+// flagged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "networks/super_cayley.hpp"
+
+namespace scg {
+
+struct SeriesPoint {
+  double log2_nodes = 0.0;
+  double value = 0.0;
+  std::string label;    ///< e.g. "MS(2,3)" or "hypercube d=10"
+  bool exact = true;    ///< false when the value is an upper bound
+};
+
+struct Series {
+  std::string name;
+  std::vector<SeriesPoint> points;
+};
+
+/// The paper's (l,n) choices for the super Cayley series in Figs 4-6.
+std::vector<std::pair<int, int>> paper_ln_parameters();
+
+std::vector<Series> figure4_degree_series();
+std::vector<Series> figure5_diameter_series(bool measure_exact = true);
+std::vector<Series> figure6_cost_series(bool measure_exact = true);
+
+/// One row of Table 1: a network family, the paper's asymptotic
+/// diameter-to-lower-bound ratio, and our finite-N measurement.
+struct Table1Row {
+  std::string network;
+  double paper_ratio = 0.0;    ///< 0 => unbounded / no claim
+  double measured_ratio = 0.0; ///< exact diameter / D_L at the sample size
+  std::string sample;          ///< instance the measurement used
+};
+std::vector<Table1Row> table1_rows(bool measure_exact = true);
+
+/// Tab-separated rendering: one line per point, "series\tlabel\tlog2N\tvalue".
+void print_series(std::ostream& os, const std::vector<Series>& series,
+                  const std::string& value_name);
+
+}  // namespace scg

@@ -1,0 +1,146 @@
+#include "analysis/formulas.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scg {
+namespace {
+
+int k_of(int l, int n) { return n * l + 1; }
+
+}  // namespace
+
+int closed_form_degree(Family f, int l, int n) {
+  const int k = k_of(l, n);
+  switch (f) {
+    case Family::kMacroStar:
+    case Family::kCompleteRotationStar:
+      return n + l - 1;
+    case Family::kRotationStar:
+      return n + std::min(l - 1, 2);
+    case Family::kMacroRotator:
+    case Family::kCompleteRotationRotator:
+      return n + l - 1;
+    case Family::kRotationRotator:
+      return n + 1;
+    case Family::kInsertionSelection:
+      return 2 * k - 3;  // I_2 == I_2^{-1} collapses one generator
+    case Family::kMacroIS:
+    case Family::kCompleteRotationIS:
+      return (2 * n - 1) + (l - 1);
+    case Family::kRotationIS:
+      return (2 * n - 1) + std::min(l - 1, 2);
+    case Family::kStar:
+    case Family::kRotator:
+      return k - 1;
+    case Family::kBubbleSort:
+      return k - 1;
+    case Family::kTranspositionNetwork:
+      return k * (k - 1) / 2;
+    case Family::kPancake:
+      return k - 1;
+    case Family::kPartialRotationStar:
+    case Family::kPartialRotationIS:
+    case Family::kRecursiveMacroStar:
+      throw std::invalid_argument(
+          "degree of extension families depends on the instance; use "
+          "NetworkSpec::degree()");
+  }
+  throw std::logic_error("unknown family");
+}
+
+int diameter_upper_bound(Family f, int l, int n) {
+  const int k = k_of(l, n);
+  switch (f) {
+    case Family::kStar:
+      return (3 * (k - 1)) / 2;  // Akers-Harel-Krishnamurthy [1,2]
+    case Family::kMacroStar:
+      return balls_to_boxes_step_bound(l, n);
+    case Family::kCompleteRotationStar:
+      return complete_rotation_star_step_bound(l, n);  // Theorem 4.1
+    case Family::kRotationStar:
+      // Each of the <= floor(2.5 n l)+l-1 ball phases may need a box fetch
+      // costing <= floor(l/2) unit rotations; closing rotation <= floor(l/2).
+      return ((5 * n * l) / 2 + l - 1) * (1 + l / 2) + l / 2;
+    case Family::kMacroRotator:
+    case Family::kMacroIS:
+      return insertion_game_step_bound(l, n, BoxMoveStyle::kSwap);
+    case Family::kRotationRotator:
+      return insertion_game_step_bound(l, n, BoxMoveStyle::kForwardRotation);
+    case Family::kCompleteRotationRotator:
+    case Family::kCompleteRotationIS:
+      return insertion_game_step_bound(l, n, BoxMoveStyle::kCompleteRotation);
+    case Family::kRotationIS:
+      return insertion_game_step_bound(l, n, BoxMoveStyle::kBidirectionalRotation);
+    case Family::kInsertionSelection:
+    case Family::kRotator:
+      return k - 1;  // one-box insertion game (Section 2.3 / Corbett [9])
+    case Family::kBubbleSort:
+      return k * (k - 1) / 2;  // max inversions
+    case Family::kTranspositionNetwork:
+      return k - 1;  // k - (min #cycles = 1)
+    case Family::kPancake:
+      return 2 * (k - 1);  // greedy flip-sort bound
+    case Family::kPartialRotationStar:
+    case Family::kPartialRotationIS:
+    case Family::kRecursiveMacroStar:
+      throw std::invalid_argument(
+          "bound of extension families depends on the instance; use "
+          "diameter_upper_bound(const NetworkSpec&)");
+  }
+  throw std::logic_error("unknown family");
+}
+
+int diameter_upper_bound(const NetworkSpec& net) {
+  switch (net.family) {
+    case Family::kPartialRotationStar: {
+      const int fetch = rotation_shift_worst(net.l, net.rotations);
+      return ((5 * net.n * net.l) / 2 + net.l - 1) * (1 + fetch) + fetch;
+    }
+    case Family::kPartialRotationIS: {
+      const int fetch = rotation_shift_worst(net.l, net.rotations);
+      return ((net.k() - 1) + net.l) * (1 + fetch) + fetch;
+    }
+    case Family::kRecursiveMacroStar:
+      // Every step of the outer Balls-to-Boxes word costs at most one inner
+      // Balls-to-Boxes word (outer swaps cost 1).
+      return balls_to_boxes_step_bound(net.l, net.n) *
+             std::max(1, balls_to_boxes_step_bound(net.l1, net.n1));
+    default:
+      return diameter_upper_bound(net.family, net.l, net.n);
+  }
+}
+
+double paper_asymptotic_ratio(Family f) {
+  switch (f) {
+    case Family::kStar:
+      return 1.5;  // [32], quoted in the introduction
+    case Family::kMacroStar:
+    case Family::kCompleteRotationStar:
+      return 1.25;  // Theorem 4.5 / introduction
+    case Family::kMacroRotator:
+    case Family::kMacroIS:
+    case Family::kCompleteRotationRotator:
+    case Family::kCompleteRotationIS:
+      return 1.0;  // Theorem 4.6
+    default:
+      return 0.0;  // no claim in the paper
+  }
+}
+
+std::vector<BalancedSplit> degree_optimal_splits(Family f, int k) {
+  std::vector<BalancedSplit> splits;
+  for (int n = 1; n < k; ++n) {
+    if ((k - 1) % n != 0) continue;
+    const int l = (k - 1) / n;
+    splits.push_back(BalancedSplit{l, n, closed_form_degree(f, l, n)});
+  }
+  std::sort(splits.begin(), splits.end(),
+            [](const BalancedSplit& a, const BalancedSplit& b) {
+              if (a.degree != b.degree) return a.degree < b.degree;
+              return a.l < b.l;
+            });
+  return splits;
+}
+
+}  // namespace scg

@@ -1,0 +1,46 @@
+// Closed-form properties of the network classes (Section 4.1) and the
+// diameter upper bounds proved by the game algorithms.  Every formula here
+// is cross-checked against construction/BFS measurements in the tests.
+#pragma once
+
+#include "core/bag.hpp"
+#include "networks/super_cayley.hpp"
+
+namespace scg {
+
+/// Closed-form node degree of a family at (l, n) — equals
+/// make_*(l,n).degree() (verified by tests):
+///   MS, complete-RS, MR, complete-RR: n + l - 1
+///   RS:  n + min(l-1, 2);   RR: n + 1
+///   IS(k): 2k - 3;          MIS: 2n - 1 + (l - 1)
+///   RIS: 2n - 1 + min(l-1, 2);  complete-RIS: 2n - 1 + (l - 1)
+///   star(k): k - 1;         rotator(k): k - 1
+int closed_form_degree(Family f, int l, int n);
+
+/// Diameter upper bound proved by the corresponding game algorithm
+/// (Theorems 4.1-4.3 where legible; our documented algorithmic bounds
+/// elsewhere — see DESIGN.md).  This is an upper bound on the *exact*
+/// diameter measured by BFS.
+int diameter_upper_bound(Family f, int l, int n);
+
+/// Instance-aware overload covering the Section 3.3.4 extensions
+/// (partial-rotation sets, recursive macro-stars) as well.
+int diameter_upper_bound(const NetworkSpec& net);
+
+/// The asymptotic diameter-to-lower-bound ratio the paper states for
+/// balanced (l = Theta(n)) members of each family (Table 1 / Theorems
+/// 4.5-4.6); returns 0 where the paper makes no claim (ratio unbounded for
+/// fixed-degree networks).
+double paper_asymptotic_ratio(Family f);
+
+/// The value of l minimizing the degree for an N-node network of this
+/// family is l = Theta(n) (Theorem 4.4); given a target k = n*l+1 this
+/// helper returns the (l, n) splits of k-1 ordered by resulting degree.
+struct BalancedSplit {
+  int l;
+  int n;
+  int degree;
+};
+std::vector<BalancedSplit> degree_optimal_splits(Family f, int k);
+
+}  // namespace scg

@@ -1,0 +1,89 @@
+#include "analysis/sweeps.hpp"
+
+#include <random>
+
+#include "networks/router.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace scg {
+namespace {
+
+struct Partial {
+  int max_steps = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+  std::uint64_t worst_rank = 0;
+};
+
+Partial combine(Partial a, const Partial& b) {
+  if (b.max_steps > a.max_steps) {
+    a.max_steps = b.max_steps;
+    a.worst_rank = b.worst_rank;
+  }
+  a.sum += b.sum;
+  a.count += b.count;
+  return a;
+}
+
+SolverSweep finish(const Partial& p) {
+  SolverSweep s;
+  s.max_steps = p.max_steps;
+  s.sources = p.count;
+  s.worst_rank = p.worst_rank;
+  s.avg_steps = p.count ? static_cast<double>(p.sum) / static_cast<double>(p.count) : 0.0;
+  return s;
+}
+
+}  // namespace
+
+SolverSweep sweep_all_sources(const NetworkSpec& net, ThreadPool* pool) {
+  const std::uint64_t n = net.num_nodes();
+  const Permutation target = Permutation::identity(net.k());
+  const Partial total = parallel_reduce<Partial>(
+      n, Partial{},
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        Partial p;
+        for (std::uint64_t r = lo; r < hi; ++r) {
+          const Permutation u = Permutation::unrank(net.k(), r);
+          const int steps = route_length(net, u, target);
+          if (steps > p.max_steps) {
+            p.max_steps = steps;
+            p.worst_rank = r;
+          }
+          p.sum += static_cast<std::uint64_t>(steps);
+          ++p.count;
+        }
+        return p;
+      },
+      combine, /*grain=*/1 << 10, pool);
+  return finish(total);
+}
+
+SolverSweep sweep_sampled(const NetworkSpec& net, std::uint64_t samples,
+                          std::uint64_t seed, ThreadPool* pool) {
+  const std::uint64_t n = net.num_nodes();
+  const Permutation target = Permutation::identity(net.k());
+  const Partial total = parallel_reduce<Partial>(
+      samples, Partial{},
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        Partial p;
+        std::mt19937_64 rng(seed ^ (lo * 0x9e3779b97f4a7c15ULL));
+        std::uniform_int_distribution<std::uint64_t> pick(0, n - 1);
+        for (std::uint64_t s = lo; s < hi; ++s) {
+          const std::uint64_t r = pick(rng);
+          const Permutation u = Permutation::unrank(net.k(), r);
+          const int steps = route_length(net, u, target);
+          if (steps > p.max_steps) {
+            p.max_steps = steps;
+            p.worst_rank = r;
+          }
+          p.sum += static_cast<std::uint64_t>(steps);
+          ++p.count;
+        }
+        return p;
+      },
+      combine, /*grain=*/1 << 8, pool);
+  return finish(total);
+}
+
+}  // namespace scg

@@ -1,0 +1,28 @@
+// Exhaustive / sampled solver sweeps: run a network's routing algorithm
+// from every (or many random) source permutations to the identity and
+// aggregate step counts.  The maximum over all k! sources is the
+// algorithmic diameter bound actually achieved by the implementation.
+#pragma once
+
+#include <cstdint>
+
+#include "networks/super_cayley.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace scg {
+
+struct SolverSweep {
+  int max_steps = 0;             ///< worst-case word length
+  double avg_steps = 0.0;        ///< mean word length over sources
+  std::uint64_t sources = 0;     ///< number of sources routed
+  std::uint64_t worst_rank = 0;  ///< a source achieving max_steps
+};
+
+/// Routes every one of the k! permutations to the identity (parallel).
+SolverSweep sweep_all_sources(const NetworkSpec& net, ThreadPool* pool = nullptr);
+
+/// Routes `samples` uniformly random permutations to the identity.
+SolverSweep sweep_sampled(const NetworkSpec& net, std::uint64_t samples,
+                          std::uint64_t seed = 42, ThreadPool* pool = nullptr);
+
+}  // namespace scg

@@ -1,0 +1,368 @@
+#include "collectives/collectives.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "topology/bfs.hpp"
+
+namespace scg {
+namespace {
+
+/// N-bit set per node, packed into 64-bit words.
+class KnownSets {
+ public:
+  explicit KnownSets(std::uint64_t n)
+      : n_(n), words_((n + 63) / 64), bits_(n * words_, 0) {
+    for (std::uint64_t u = 0; u < n; ++u) set(u, u);  // own packet
+  }
+
+  void set(std::uint64_t node, std::uint64_t packet) {
+    bits_[node * words_ + packet / 64] |= std::uint64_t{1} << (packet % 64);
+  }
+
+  bool has(std::uint64_t node, std::uint64_t packet) const {
+    return (bits_[node * words_ + packet / 64] >> (packet % 64)) & 1u;
+  }
+
+  /// Smallest packet known to `from` but not to `to`; n_ if none.
+  std::uint64_t first_useful(std::uint64_t from, std::uint64_t to) const {
+    return first_useful_from(from, to, 0);
+  }
+
+  /// First packet >= `start` (circularly) known to `from` but not to `to`;
+  /// n_ if none.  Starting different arcs at different offsets decorrelates
+  /// neighboring senders and removes most redundant transmissions.
+  std::uint64_t first_useful_from(std::uint64_t from, std::uint64_t to,
+                                  std::uint64_t start) const {
+    const std::uint64_t* a = &bits_[from * words_];
+    const std::uint64_t* b = &bits_[to * words_];
+    const std::uint64_t w0 = (start % n_) / 64;
+    const std::uint64_t bit0 = (start % n_) % 64;
+    for (std::uint64_t i = 0; i <= words_; ++i) {
+      const std::uint64_t w = (w0 + i) % words_;
+      std::uint64_t diff = a[w] & ~b[w];
+      if (i == 0) diff &= ~((std::uint64_t{1} << bit0) - 1);  // mask below start
+      if (i == words_) diff &= (std::uint64_t{1} << bit0) - 1;  // wrapped tail
+      if (diff) {
+        const std::uint64_t p = w * 64 + static_cast<std::uint64_t>(__builtin_ctzll(diff));
+        if (p < n_) return p;
+        // Bits above n_ are never set, so p >= n_ only via padding: skip.
+      }
+    }
+    return n_;
+  }
+
+  bool node_complete(std::uint64_t node) const {
+    std::uint64_t count = 0;
+    const std::uint64_t* a = &bits_[node * words_];
+    for (std::uint64_t w = 0; w < words_; ++w) {
+      count += static_cast<std::uint64_t>(__builtin_popcountll(a[w]));
+    }
+    return count == n_;
+  }
+
+  bool all_complete() const {
+    for (std::uint64_t u = 0; u < n_; ++u) {
+      if (!node_complete(u)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace
+
+CollectiveResult broadcast_single_port(const Graph& g, std::uint64_t root,
+                                       int max_rounds) {
+  const std::uint64_t n = g.num_nodes();
+  std::vector<std::uint8_t> informed(n, 0);
+  informed[root] = 1;
+  std::uint64_t informed_count = 1;
+  CollectiveResult res;
+  while (informed_count < n && res.rounds < max_rounds) {
+    ++res.rounds;
+    std::vector<std::uint64_t> newly;
+    std::vector<std::uint8_t> receiving(n, 0);
+    for (std::uint64_t u = 0; u < n; ++u) {
+      if (!informed[u]) continue;
+      // One send per informed node: the first uninformed, unclaimed neighbor.
+      std::uint64_t target = n;
+      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+        if (target == n && !informed[v] && !receiving[v]) target = v;
+      });
+      if (target != n) {
+        receiving[target] = 1;
+        newly.push_back(target);
+        ++res.messages;
+      }
+    }
+    for (const std::uint64_t v : newly) informed[v] = 1;
+    informed_count += newly.size();
+    if (newly.empty()) break;  // disconnected
+  }
+  res.complete = informed_count == n;
+  return res;
+}
+
+CollectiveResult broadcast_all_port(const Graph& g, std::uint64_t root,
+                                    int max_rounds) {
+  const std::uint64_t n = g.num_nodes();
+  std::vector<std::uint8_t> informed(n, 0);
+  informed[root] = 1;
+  std::uint64_t informed_count = 1;
+  CollectiveResult res;
+  std::vector<std::uint64_t> frontier{root};
+  while (informed_count < n && res.rounds < max_rounds) {
+    ++res.rounds;
+    std::vector<std::uint64_t> next;
+    for (const std::uint64_t u : frontier) {
+      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+        ++res.messages;  // all-port: every link fires
+        if (!informed[v]) {
+          informed[v] = 1;
+          next.push_back(v);
+        }
+      });
+    }
+    informed_count += next.size();
+    frontier.swap(next);
+    if (frontier.empty()) break;
+  }
+  res.complete = informed_count == n;
+  return res;
+}
+
+CollectiveResult mnb_all_port(const Graph& g, int max_rounds) {
+  const std::uint64_t n = g.num_nodes();
+  KnownSets known(n);
+  CollectiveResult res;
+  while (!known.all_complete() && res.rounds < max_rounds) {
+    ++res.rounds;
+    // Synchronous: collect this round's transmissions, then apply.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> deliveries;  // (node, packet)
+    bool any = false;
+    for (std::uint64_t u = 0; u < n; ++u) {
+      // Start each sender's scan at a sender-specific offset so that the
+      // in-links of a node carry *different* packets in the same round.
+      const std::uint64_t start = (u * 0x9e3779b9ULL) % n;
+      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+        const std::uint64_t p = known.first_useful_from(u, v, start);
+        if (p < n) {
+          deliveries.emplace_back(v, p);
+          any = true;
+        }
+      });
+    }
+    for (const auto& [v, p] : deliveries) known.set(v, p);
+    res.messages += deliveries.size();
+    if (!any) break;
+  }
+  res.complete = known.all_complete();
+  return res;
+}
+
+CollectiveResult mnb_single_port(const Graph& g, int max_rounds) {
+  const std::uint64_t n = g.num_nodes();
+  KnownSets known(n);
+  CollectiveResult res;
+  while (!known.all_complete() && res.rounds < max_rounds) {
+    ++res.rounds;
+    std::vector<std::uint8_t> receiving(n, 0);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> deliveries;
+    bool any = false;
+    for (std::uint64_t u = 0; u < n; ++u) {
+      const std::uint64_t start = (u * 0x9e3779b9ULL) % n;
+      std::uint64_t best_v = n;
+      std::uint64_t best_p = n;
+      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+        if (best_v != n || receiving[v]) return;
+        const std::uint64_t p = known.first_useful_from(u, v, start);
+        if (p < n) {
+          best_v = v;
+          best_p = p;
+        }
+      });
+      if (best_v != n) {
+        receiving[best_v] = 1;
+        deliveries.emplace_back(best_v, best_p);
+        any = true;
+      }
+    }
+    for (const auto& [v, p] : deliveries) known.set(v, p);
+    res.messages += deliveries.size();
+    if (!any) break;
+  }
+  res.complete = known.all_complete();
+  return res;
+}
+
+namespace {
+
+/// Shortest paths toward a node follow BFS distances from it, which is only
+/// valid when every arc has a reverse arc.
+void require_symmetric(const Graph& g, const char* who) {
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    bool ok = true;
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      if (g.find_arc(v, u) == g.num_links()) ok = false;
+    });
+    if (!ok) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": requires symmetric adjacency");
+    }
+  }
+}
+
+}  // namespace
+
+CollectiveResult scatter_single_port(const Graph& g, std::uint64_t root,
+                                     int max_rounds) {
+  // Packets are destinations; each node may forward one held packet per
+  // round toward its destination (greedy: farthest-from-done first by
+  // lowest id), and receive one.  Distances toward each destination come
+  // from one BFS per destination (undirected graphs).
+  require_symmetric(g, "scatter_single_port");
+  const std::uint64_t n = g.num_nodes();
+  // dist[d] = BFS distances towards destination d (computed lazily).
+  std::vector<std::vector<std::uint16_t>> dist(n);
+  auto dist_to = [&](std::uint64_t d) -> const std::vector<std::uint16_t>& {
+    if (dist[d].empty()) dist[d] = bfs_distances(g, d);
+    return dist[d];
+  };
+  // holder[d] = node currently holding packet for destination d.
+  std::vector<std::uint64_t> holder(n, root);
+  CollectiveResult res;
+  std::uint64_t delivered = 1;  // the root's own packet
+  while (delivered < n && res.rounds < max_rounds) {
+    ++res.rounds;
+    std::vector<std::uint8_t> sent(n, 0);
+    std::vector<std::uint8_t> received(n, 0);
+    bool any = false;
+    for (std::uint64_t d = 0; d < n; ++d) {
+      if (holder[d] == d) continue;  // delivered
+      const std::uint64_t u = holder[d];
+      if (sent[u]) continue;  // single-port: one send per node per round
+      // Advance toward d through an unclaimed neighbor closer to d.
+      const auto& dd = dist_to(d);
+      std::uint64_t next = n;
+      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+        if (next == n && !received[v] && dd[v] + 1 == dd[u]) next = v;
+      });
+      if (next == n) continue;  // blocked this round
+      sent[u] = 1;
+      received[next] = 1;
+      holder[d] = next;
+      ++res.messages;
+      any = true;
+      if (next == d) ++delivered;
+    }
+    if (!any) break;
+  }
+  res.complete = delivered == n;
+  return res;
+}
+
+CollectiveResult te_all_port(const Graph& g, int max_rounds) {
+  require_symmetric(g, "te_all_port");
+  const std::uint64_t n = g.num_nodes();
+  // Precompute BFS distances towards every destination (N small).
+  std::vector<std::vector<std::uint16_t>> dist(n);
+  for (std::uint64_t d = 0; d < n; ++d) dist[d] = bfs_distances(g, d);
+  // Choose among the arcs descending toward dst by a per-packet hash so
+  // traffic spreads over equivalent shortest paths (a deterministic stand-in
+  // for the balanced TE schedules of [7, 29]); first-arc tie-breaking would
+  // artificially congest one dimension of, e.g., the hypercube.
+  auto pick_arc = [&](std::uint64_t at, std::uint64_t src, std::uint64_t dst) {
+    std::vector<std::uint64_t> descending;
+    g.for_each_arc(at, [&](std::uint64_t a, std::uint64_t v, std::int32_t) {
+      if (dist[dst][v] + 1 == dist[dst][at]) descending.push_back(a);
+    });
+    const std::uint64_t h =
+        (src * 0x9e3779b97f4a7c15ULL) ^ (dst * 0xc2b2ae3d27d4eb4fULL) ^
+        (static_cast<std::uint64_t>(dist[dst][at]) * 0x165667b19e3779f9ULL);
+    return descending[h % descending.size()];
+  };
+  // Per-arc FIFO queue of packets (src<<32 | dst).
+  std::vector<std::vector<std::uint64_t>> queue(g.num_links());
+  std::uint64_t in_flight = 0;
+  for (std::uint64_t s = 0; s < n; ++s) {
+    for (std::uint64_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      queue[pick_arc(s, s, d)].push_back((s << 32) | d);
+      ++in_flight;
+    }
+  }
+  // Map arc -> head node, for forwarding.
+  std::vector<std::uint32_t> arc_head(g.num_links());
+  for (std::uint64_t u = 0; u < n; ++u) {
+    g.for_each_arc(u, [&](std::uint64_t a, std::uint64_t v, std::int32_t) {
+      arc_head[a] = static_cast<std::uint32_t>(v);
+    });
+  }
+  CollectiveResult res;
+  while (in_flight > 0 && res.rounds < max_rounds) {
+    ++res.rounds;
+    // Synchronous: each arc forwards its front packet this round.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> moved;  // (arc, packet)
+    for (std::uint64_t a = 0; a < g.num_links(); ++a) {
+      if (queue[a].empty()) continue;
+      moved.emplace_back(a, queue[a].front());
+      queue[a].erase(queue[a].begin());
+    }
+    for (const auto& [a, packet] : moved) {
+      ++res.messages;
+      const std::uint64_t src = packet >> 32;
+      const std::uint64_t dst = packet & 0xffffffffULL;
+      const std::uint64_t at = arc_head[a];
+      if (at == dst) {
+        --in_flight;
+        continue;
+      }
+      queue[pick_arc(at, src, dst)].push_back(packet);
+    }
+  }
+  res.complete = in_flight == 0;
+  return res;
+}
+
+int scatter_single_port_lower_bound(std::uint64_t n) {
+  return static_cast<int>(n) - 1;
+}
+
+int te_all_port_lower_bound(std::uint64_t n, int degree, double avg_distance) {
+  if (degree <= 0) throw std::invalid_argument("degree must be positive");
+  // Total packet-hops = N(N-1)*avg; capacity = N*d hops per round.
+  const double bandwidth =
+      static_cast<double>(n - 1) * avg_distance / static_cast<double>(degree);
+  return static_cast<int>(bandwidth + 0.999999);
+}
+
+int broadcast_single_port_lower_bound(std::uint64_t n) {
+  int r = 0;
+  std::uint64_t informed = 1;
+  while (informed < n) {
+    informed *= 2;
+    ++r;
+  }
+  return r;
+}
+
+int mnb_single_port_lower_bound(std::uint64_t n) {
+  return static_cast<int>(n) - 1;
+}
+
+int mnb_all_port_lower_bound(std::uint64_t n, int in_degree, int diameter) {
+  if (in_degree <= 0) throw std::invalid_argument("in_degree must be positive");
+  const int bandwidth = static_cast<int>(
+      (n - 1 + static_cast<std::uint64_t>(in_degree) - 1) /
+      static_cast<std::uint64_t>(in_degree));
+  return std::max(diameter, bandwidth);
+}
+
+}  // namespace scg

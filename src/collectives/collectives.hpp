@@ -1,0 +1,73 @@
+// Collective-communication algorithms and round-complexity measurement —
+// the paper's conclusions claim asymptotically optimal multinode broadcast
+// (MNB) and total exchange (TE) on super Cayley graphs under both the
+// single-port and the all-port communication models [7, 29, 30].
+//
+// Models (synchronous rounds, unit packets):
+//  * all-port:    every directed link may carry one packet per round;
+//  * single-port: every node sends on at most one out-link AND receives on
+//                 at most one in-link per round.
+//
+// The schedulers here are greedy and receiver-aware (an idealised but
+// deterministic schedule); measured round counts are upper bounds on the
+// optimum and are compared against the universal lower bounds:
+//    broadcast, single-port:  ceil(log2 N)
+//    MNB, single-port:        N - 1   (each node receives <= 1 per round)
+//    MNB, all-port:           max(diameter, ceil((N-1)/d_in))
+#pragma once
+
+#include <cstdint>
+
+#include "topology/graph.hpp"
+
+namespace scg {
+
+struct CollectiveResult {
+  int rounds = 0;
+  std::uint64_t messages = 0;  ///< total packet transmissions
+  bool complete = false;       ///< everyone informed within max_rounds
+};
+
+/// Single-source broadcast under the single-port model: informed nodes each
+/// forward to one uninformed neighbor per round (greedy).
+CollectiveResult broadcast_single_port(const Graph& g, std::uint64_t root,
+                                       int max_rounds = 1 << 20);
+
+/// Single-source broadcast under the all-port model (= BFS flooding):
+/// completes in eccentricity(root) rounds.
+CollectiveResult broadcast_all_port(const Graph& g, std::uint64_t root,
+                                    int max_rounds = 1 << 20);
+
+/// Multinode broadcast (every node's packet reaches every node) under the
+/// all-port model: every directed link forwards one useful packet per round
+/// (receiver-aware greedy gossip).
+CollectiveResult mnb_all_port(const Graph& g, int max_rounds = 1 << 20);
+
+/// Multinode broadcast under the single-port model: a greedy matching of
+/// (sender, receiver, packet) per round.
+CollectiveResult mnb_single_port(const Graph& g, int max_rounds = 1 << 20);
+
+/// Single-node scatter (one-to-all personalized): the root delivers a
+/// distinct packet to every node, relayed greedily along shortest paths;
+/// single-port model.  Lower bound: N-1 rounds (the root sends one packet
+/// per round).
+CollectiveResult scatter_single_port(const Graph& g, std::uint64_t root,
+                                     int max_rounds = 1 << 20);
+
+/// Total exchange (all-to-all personalized) under the all-port model:
+/// every ordered pair exchanges a distinct packet along a fixed shortest
+/// path; each directed link forwards one packet per round (store-and-
+/// forward rounds).  Undirected graphs only (shortest paths via BFS).
+CollectiveResult te_all_port(const Graph& g, int max_rounds = 1 << 22);
+
+/// Lower bounds for the table headers.
+int broadcast_single_port_lower_bound(std::uint64_t n);       // ceil(log2 N)
+int mnb_single_port_lower_bound(std::uint64_t n);             // N - 1
+int mnb_all_port_lower_bound(std::uint64_t n, int in_degree, int diameter);
+int scatter_single_port_lower_bound(std::uint64_t n);         // N - 1
+
+/// TE, all-port: rounds >= total path length / #links and >= per-link load.
+/// `avg_distance` is the network's average distance.
+int te_all_port_lower_bound(std::uint64_t n, int degree, double avg_distance);
+
+}  // namespace scg

@@ -1,0 +1,133 @@
+#include "core/bag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace scg {
+
+bool GameRules::permits(const Generator& g) const {
+  return std::find(moves.begin(), moves.end(), g) != moves.end();
+}
+
+GameTrace make_trace(const Permutation& start, const std::vector<Generator>& word) {
+  GameTrace t;
+  t.start = start;
+  t.moves = word;
+  t.states.reserve(word.size() + 1);
+  t.states.push_back(start);
+  Permutation u = start;
+  for (const Generator& g : word) {
+    g.apply(u);
+    t.states.push_back(u);
+  }
+  return t;
+}
+
+std::string GameTrace::render(int l, int n) const {
+  std::ostringstream os;
+  for (std::size_t step = 0; step < states.size(); ++step) {
+    const Permutation& u = states[step];
+    os << (step == 0 ? "start " : "      ");
+    os << static_cast<int>(u[0]) << " ";
+    for (int b = 1; b <= l; ++b) {
+      os << "[";
+      for (int off = 0; off < n; ++off) {
+        if (off) os << " ";
+        os << static_cast<int>(u[(b - 1) * n + 1 + off]);
+      }
+      os << "]";
+    }
+    if (step < moves.size()) os << "   --" << moves[step].name() << "-->";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string validate_trace(const GameRules& rules, const GameTrace& trace) {
+  if (trace.states.size() != trace.moves.size() + 1) {
+    return "trace has " + std::to_string(trace.states.size()) + " states for " +
+           std::to_string(trace.moves.size()) + " moves";
+  }
+  for (std::size_t i = 0; i < trace.moves.size(); ++i) {
+    if (!rules.permits(trace.moves[i])) {
+      return "move " + std::to_string(i) + " (" + trace.moves[i].name() +
+             ") is not permitted by game '" + rules.name + "'";
+    }
+    if (trace.moves[i].applied(trace.states[i]) != trace.states[i + 1]) {
+      return "state " + std::to_string(i + 1) + " does not follow from move " +
+             trace.moves[i].name();
+    }
+  }
+  return "";
+}
+
+std::vector<std::vector<int>> rotation_shift_sequences(
+    int l, const std::vector<int>& rotations) {
+  if (l < 1) throw std::invalid_argument("rotation_shift_sequences: l >= 1");
+  std::vector<std::vector<int>> seq(static_cast<std::size_t>(l));
+  std::vector<bool> have(static_cast<std::size_t>(l), false);
+  have[0] = true;
+  std::vector<int> frontier{0};
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (const int s : frontier) {
+      for (const int r : rotations) {
+        if (r < 1 || r >= l) throw std::invalid_argument("rotation amount out of range");
+        const int t = (s + r) % l;
+        if (have[static_cast<std::size_t>(t)]) continue;
+        have[static_cast<std::size_t>(t)] = true;
+        seq[static_cast<std::size_t>(t)] = seq[static_cast<std::size_t>(s)];
+        seq[static_cast<std::size_t>(t)].push_back(r);
+        next.push_back(t);
+      }
+    }
+    frontier.swap(next);
+  }
+  for (int s = 0; s < l; ++s) {
+    if (!have[static_cast<std::size_t>(s)]) {
+      throw std::invalid_argument("rotation set does not generate Z_l");
+    }
+  }
+  return seq;
+}
+
+int rotation_shift_worst(int l, const std::vector<int>& rotations) {
+  int worst = 0;
+  for (const auto& s : rotation_shift_sequences(l, rotations)) {
+    worst = std::max(worst, static_cast<int>(s.size()));
+  }
+  return worst;
+}
+
+int balls_to_boxes_step_bound(int l, int n) {
+  // Phase 1 <= floor(2.5 n l) + l - 1; Phase 2 <= floor(1.5 (l-1)).
+  return (5 * n * l) / 2 + l - 1 + (3 * (l - 1)) / 2;
+}
+
+int complete_rotation_star_step_bound(int l, int n) {
+  const int k = n * l + 1;
+  if (l == 1) return (3 * (k - 1)) / 2;  // degenerates to the (n+1)-star
+  return (5 * k) / 2 + l - 4;            // Theorem 4.1
+}
+
+int insertion_game_step_bound(int l, int n, BoxMoveStyle style) {
+  const int k = n * l + 1;
+  if (l == 1) return k - 1;  // one-box game (Section 2.3)
+  // Each ball >= 2 is inserted at most once; ball 1 is parked at most l
+  // times; each insertion is preceded by at most one box fetch whose cost
+  // depends on the style; plus the final box-ordering phase.
+  const int insertions = (k - 1) + l;
+  switch (style) {
+    case BoxMoveStyle::kSwap:
+      return 2 * insertions + (3 * (l - 1)) / 2;
+    case BoxMoveStyle::kCompleteRotation:
+      return 2 * insertions + 1;
+    case BoxMoveStyle::kBidirectionalRotation:
+      return insertions * (1 + l / 2) + l / 2;
+    case BoxMoveStyle::kForwardRotation:
+      return insertions * l + (l - 1);
+  }
+  return 0;
+}
+
+}  // namespace scg

@@ -1,0 +1,205 @@
+#include "core/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace scg {
+
+bool is_nucleus(GenKind kind) {
+  switch (kind) {
+    case GenKind::kTransposition:
+    case GenKind::kInsertion:
+    case GenKind::kSelection:
+      return true;
+    case GenKind::kSwap:
+    case GenKind::kRotation:
+      return false;
+    case GenKind::kExchange:
+    case GenKind::kReversal:
+      return true;  // baseline graphs have no super structure
+  }
+  return false;
+}
+
+void Generator::apply(Permutation& u) const {
+  switch (kind) {
+    case GenKind::kTransposition: {
+      // T_i: interchange u_1 with u_i.
+      assert(i >= 2 && i <= u.size());
+      std::swap(u[0], u[i - 1]);
+      return;
+    }
+    case GenKind::kInsertion: {
+      // I_i(U) = u_{2:i} u_1 u_{i+1:k} — cyclic left shift of u_{1:i}.
+      assert(i >= 2 && i <= u.size());
+      const std::uint8_t head = u[0];
+      for (int p = 0; p < i - 1; ++p) u[p] = u[p + 1];
+      u[i - 1] = head;
+      return;
+    }
+    case GenKind::kSelection: {
+      // I_i^{-1}(U) = u_i u_{1:i-1} u_{i+1:k} — cyclic right shift of u_{1:i}.
+      assert(i >= 2 && i <= u.size());
+      const std::uint8_t tail = u[i - 1];
+      for (int p = i - 1; p > 0; --p) u[p] = u[p - 1];
+      u[0] = tail;
+      return;
+    }
+    case GenKind::kSwap: {
+      // S_{i,n}: interchange u_{(i-1)n+2 : in+1} with u_{2 : n+1}.
+      assert(n >= 1 && i >= 2);
+      assert(i * n + 1 <= u.size());
+      for (int j = 0; j < n; ++j) {
+        std::swap(u[1 + j], u[(i - 1) * n + 1 + j]);
+      }
+      return;
+    }
+    case GenKind::kExchange: {
+      // Swap positions i and j (j stored in the `n` field).
+      assert(i >= 1 && n >= 1 && i != n);
+      assert(i <= u.size() && n <= u.size());
+      std::swap(u[i - 1], u[n - 1]);
+      return;
+    }
+    case GenKind::kReversal: {
+      // Reverse the prefix u_{1:i} (pancake flip).
+      assert(i >= 2 && i <= u.size());
+      for (int a = 0, b = i - 1; a < b; ++a, --b) std::swap(u[a], u[b]);
+      return;
+    }
+    case GenKind::kRotation: {
+      // R^i_n(U) = u_1 u_{k-in+1:k} u_{2:k-in} — cyclic right shift of the
+      // rightmost k-1 symbols by i*n positions (boxes rotate i places).
+      assert(n >= 1 && i >= 1);
+      const int m = u.size() - 1;           // tail length = n*l
+      assert(m % n == 0);
+      const int t = (i * n) % m;            // effective shift
+      if (t == 0) return;
+      std::array<std::uint8_t, kMaxSymbols> tmp{};
+      for (int j = 0; j < m; ++j) tmp[static_cast<std::size_t>(j)] = u[1 + j];
+      for (int j = 0; j < m; ++j) u[1 + (j + t) % m] = tmp[static_cast<std::size_t>(j)];
+      return;
+    }
+  }
+}
+
+Permutation Generator::applied(const Permutation& u) const {
+  Permutation v = u;
+  apply(v);
+  return v;
+}
+
+Generator Generator::inverse(int l) const {
+  switch (kind) {
+    case GenKind::kTransposition:
+    case GenKind::kSwap:
+    case GenKind::kExchange:
+    case GenKind::kReversal:
+      return *this;
+    case GenKind::kInsertion:
+      return Generator{GenKind::kSelection, i, n};
+    case GenKind::kSelection:
+      return Generator{GenKind::kInsertion, i, n};
+    case GenKind::kRotation: {
+      if (l <= 0) throw std::invalid_argument("rotation inverse needs l");
+      const int j = (l - i % l) % l;
+      // R^0 is the identity; callers never store it, so normalise to l
+      // (a full turn) only when i was a multiple of l.
+      return Generator{GenKind::kRotation, j == 0 ? l : j, n};
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+bool Generator::is_involution(int l) const {
+  switch (kind) {
+    case GenKind::kTransposition:
+    case GenKind::kSwap:
+    case GenKind::kExchange:
+    case GenKind::kReversal:
+      return true;
+    case GenKind::kInsertion:
+    case GenKind::kSelection:
+      return i == 2;
+    case GenKind::kRotation:
+      return l > 0 && (2 * i) % l == 0;
+  }
+  return false;
+}
+
+Permutation Generator::as_position_permutation(int k) const {
+  return applied(Permutation::identity(k));
+}
+
+std::string Generator::name() const {
+  switch (kind) {
+    case GenKind::kTransposition: return "T" + std::to_string(i);
+    case GenKind::kInsertion: return "I" + std::to_string(i);
+    case GenKind::kSelection: return "I" + std::to_string(i) + "'";
+    case GenKind::kSwap: return "S" + std::to_string(i);
+    case GenKind::kRotation: return "R" + std::to_string(i);
+    case GenKind::kExchange:
+      return "X" + std::to_string(i) + "," + std::to_string(n);
+    case GenKind::kReversal:
+      return "F" + std::to_string(i);
+  }
+  return "?";
+}
+
+Generator transposition(int i) {
+  if (i < 2) throw std::invalid_argument("transposition: i >= 2 required");
+  return Generator{GenKind::kTransposition, i, 0};
+}
+
+Generator insertion(int i) {
+  if (i < 2) throw std::invalid_argument("insertion: i >= 2 required");
+  return Generator{GenKind::kInsertion, i, 0};
+}
+
+Generator selection(int i) {
+  if (i < 2) throw std::invalid_argument("selection: i >= 2 required");
+  return Generator{GenKind::kSelection, i, 0};
+}
+
+Generator swap_boxes(int i, int n) {
+  if (i < 2 || n < 1) throw std::invalid_argument("swap_boxes: i >= 2, n >= 1");
+  return Generator{GenKind::kSwap, i, n};
+}
+
+Generator rotation(int i, int n) {
+  if (i < 1 || n < 1) throw std::invalid_argument("rotation: i >= 1, n >= 1");
+  return Generator{GenKind::kRotation, i, n};
+}
+
+Generator exchange(int i, int j) {
+  if (i < 1 || j < 1 || i == j) throw std::invalid_argument("exchange: distinct positions >= 1");
+  if (i > j) std::swap(i, j);
+  return Generator{GenKind::kExchange, i, j};
+}
+
+Generator reversal(int i) {
+  if (i < 2) throw std::invalid_argument("reversal: i >= 2 required");
+  return Generator{GenKind::kReversal, i, 0};
+}
+
+Permutation apply_word(const Permutation& start, const std::vector<Generator>& word) {
+  Permutation u = start;
+  for (const Generator& g : word) g.apply(u);
+  return u;
+}
+
+bool is_inverse_closed(const std::vector<Generator>& gens, int l, int k) {
+  std::vector<Permutation> images;
+  images.reserve(gens.size());
+  for (const Generator& g : gens) images.push_back(g.as_position_permutation(k));
+  for (const Generator& g : gens) {
+    const Permutation inv = g.inverse(l).as_position_permutation(k);
+    if (std::find(images.begin(), images.end(), inv) == images.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace scg

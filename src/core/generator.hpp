@@ -1,0 +1,91 @@
+// The paper's five generator families (Definitions 3.1–3.4):
+//
+//   T_i   transposition  — swap u_1 and u_i                      (nucleus)
+//   I_i   insertion      — cyclic-left-shift u_{1:i}             (nucleus)
+//   I_i^{-1} selection   — cyclic-right-shift u_{1:i}            (nucleus)
+//   S_{i,n} swap         — swap super-symbols 1 and i            (super)
+//   R^i_n  rotation      — cyclic-right-shift u_{2:k} by i*n     (super)
+//
+// In BAG terms: T exchanges the outside ball with a ball in the leftmost
+// box; I inserts the outside ball into the leftmost box (popping the box's
+// leftmost ball outside); I^{-1} selects a ball out of the leftmost box;
+// S swaps the leftmost box with box i; R^i rotates all boxes by i places.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/permutation.hpp"
+
+namespace scg {
+
+enum class GenKind : std::uint8_t {
+  kTransposition,  // T_i,     i in 2..k
+  kInsertion,      // I_i,     i in 2..k
+  kSelection,      // I_i^{-1}
+  kSwap,           // S_{i,n}, i in 2..l
+  kRotation,       // R^i_n,   i in 1..l-1
+  kExchange,       // swap positions i and j (j stored in `n`); used only by
+                   // baseline Cayley graphs (bubble-sort, transposition
+                   // networks), not by super Cayley graphs
+  kReversal,       // reverse u_{1:i} (prefix reversal); used by the pancake
+                   // graph baseline
+};
+
+/// True for generators that permute only the leftmost n+1 symbols
+/// (transposition/insertion/selection); false for super generators.
+bool is_nucleus(GenKind kind);
+
+/// One permissible move of a ball-arrangement game; equivalently one
+/// (labelled) out-link of every node of the derived Cayley graph.
+struct Generator {
+  GenKind kind;
+  int i;  // the paper's subscript/superscript (see table above)
+  int n;  // balls per box; used by kSwap and kRotation, 0 otherwise
+
+  /// Applies the move in place.  `u` must have k >= the touched range.
+  void apply(Permutation& u) const;
+
+  /// Convenience: returns the moved permutation.
+  Permutation applied(const Permutation& u) const;
+
+  /// The generator undoing this one (may be a different kind: the inverse
+  /// of an insertion is a selection; R^i inverts to R^{l-i}, so the inverse
+  /// of a rotation needs `l` to be expressed as a forward rotation).
+  Generator inverse(int l = 0) const;
+
+  /// Whether applying twice is the identity (T_i, S_i, I_2, R^{l/2}...).
+  bool is_involution(int l = 0) const;
+
+  /// The generator as an explicit position permutation g of size k, such
+  /// that apply(u)[p] == u[g[p]-1] for all p.
+  Permutation as_position_permutation(int k) const;
+
+  /// "T3", "I4", "I4'", "S2", "R2" -style label.
+  std::string name() const;
+
+  friend bool operator==(const Generator& a, const Generator& b) {
+    return a.kind == b.kind && a.i == b.i && a.n == b.n;
+  }
+};
+
+/// Builds the named generator (bounds-checked).
+Generator transposition(int i);
+Generator insertion(int i);
+Generator selection(int i);
+Generator swap_boxes(int i, int n);
+Generator rotation(int i, int n);
+Generator exchange(int i, int j);
+Generator reversal(int i);
+
+/// Applies a word (sequence of moves) left-to-right.
+Permutation apply_word(const Permutation& start, const std::vector<Generator>& word);
+
+/// True if every generator's inverse *as a position permutation of k
+/// symbols* is realised by some generator in the set — i.e. the derived
+/// Cayley graph is undirected.  (Compared at the permutation level because
+/// distinct descriptors can coincide, e.g. I_2 == I_2^{-1}.)
+bool is_inverse_closed(const std::vector<Generator>& gens, int l, int k);
+
+}  // namespace scg

@@ -1,0 +1,158 @@
+#include "core/permutation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace scg {
+
+std::uint64_t factorial(int k) {
+  assert(k >= 0 && k <= 20);
+  std::uint64_t f = 1;
+  for (int i = 2; i <= k; ++i) f *= static_cast<std::uint64_t>(i);
+  return f;
+}
+
+Permutation Permutation::identity(int k) {
+  assert(k >= 1 && k <= kMaxSymbols);
+  Permutation p;
+  p.k_ = k;
+  for (int i = 0; i < k; ++i) p.sym_[i] = static_cast<std::uint8_t>(i + 1);
+  return p;
+}
+
+Permutation Permutation::from_symbols(std::span<const std::uint8_t> symbols) {
+  if (symbols.empty() || symbols.size() > kMaxSymbols) {
+    throw std::invalid_argument("Permutation: bad size");
+  }
+  Permutation p;
+  p.k_ = static_cast<int>(symbols.size());
+  std::array<bool, kMaxSymbols + 1> seen{};
+  for (int i = 0; i < p.k_; ++i) {
+    const std::uint8_t s = symbols[static_cast<std::size_t>(i)];
+    if (s < 1 || s > p.k_ || seen[s]) {
+      throw std::invalid_argument("Permutation: not a permutation of 1..k");
+    }
+    seen[s] = true;
+    p.sym_[i] = s;
+  }
+  return p;
+}
+
+Permutation Permutation::from_symbols(std::initializer_list<int> symbols) {
+  std::array<std::uint8_t, kMaxSymbols> buf{};
+  if (symbols.size() > kMaxSymbols) {
+    throw std::invalid_argument("Permutation: bad size");
+  }
+  int i = 0;
+  for (int s : symbols) buf[static_cast<std::size_t>(i++)] = static_cast<std::uint8_t>(s);
+  return from_symbols(std::span<const std::uint8_t>(buf.data(), symbols.size()));
+}
+
+Permutation Permutation::parse(const std::string& digits) {
+  std::array<std::uint8_t, kMaxSymbols> buf{};
+  if (digits.empty() || digits.size() > 9) {
+    throw std::invalid_argument("Permutation::parse: want 1..9 digits");
+  }
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (digits[i] < '1' || digits[i] > '9') {
+      throw std::invalid_argument("Permutation::parse: non-digit");
+    }
+    buf[i] = static_cast<std::uint8_t>(digits[i] - '0');
+  }
+  return from_symbols(std::span<const std::uint8_t>(buf.data(), digits.size()));
+}
+
+// Myrvold & Ruskey, "Ranking and unranking permutations in linear time",
+// IPL 2001.  Works on 0-based values internally.
+Permutation Permutation::unrank(int k, std::uint64_t rank) {
+  assert(k >= 1 && k <= kMaxSymbols);
+  Permutation p = identity(k);
+  for (int n = k; n > 0; --n) {
+    const std::uint64_t q = rank / n;
+    const int r = static_cast<int>(rank % static_cast<std::uint64_t>(n));
+    std::swap(p.sym_[n - 1], p.sym_[r]);
+    rank = q;
+  }
+  return p;
+}
+
+std::uint64_t Permutation::rank() const {
+  std::array<std::uint8_t, kMaxSymbols> pi{};
+  std::array<std::uint8_t, kMaxSymbols> inv{};
+  for (int i = 0; i < k_; ++i) {
+    pi[i] = static_cast<std::uint8_t>(sym_[i] - 1);
+    inv[pi[i]] = static_cast<std::uint8_t>(i);
+  }
+  std::uint64_t r = 0;
+  std::uint64_t mult = 1;
+  for (int n = k_; n > 1; --n) {
+    const std::uint8_t s = pi[n - 1];
+    std::swap(pi[n - 1], pi[inv[n - 1]]);
+    std::swap(inv[s], inv[n - 1]);
+    r += mult * s;
+    mult *= static_cast<std::uint64_t>(n);
+  }
+  return r;
+}
+
+int Permutation::index_of(std::uint8_t symbol) const {
+  for (int i = 0; i < k_; ++i) {
+    if (sym_[i] == symbol) return i;
+  }
+  assert(false && "symbol not present");
+  return -1;
+}
+
+Permutation Permutation::compose_positions(const Permutation& other) const {
+  assert(k_ == other.k_);
+  Permutation w;
+  w.k_ = k_;
+  for (int i = 0; i < k_; ++i) w.sym_[i] = sym_[other.sym_[i] - 1];
+  return w;
+}
+
+Permutation Permutation::relabel_symbols(const Permutation& relabel) const {
+  assert(k_ == relabel.k_);
+  Permutation w;
+  w.k_ = k_;
+  for (int i = 0; i < k_; ++i) w.sym_[i] = relabel.sym_[sym_[i] - 1];
+  return w;
+}
+
+Permutation Permutation::inverse() const {
+  Permutation inv;
+  inv.k_ = k_;
+  for (int i = 0; i < k_; ++i) inv.sym_[sym_[i] - 1] = static_cast<std::uint8_t>(i + 1);
+  return inv;
+}
+
+bool Permutation::is_identity() const {
+  for (int i = 0; i < k_; ++i) {
+    if (sym_[i] != i + 1) return false;
+  }
+  return true;
+}
+
+std::string Permutation::to_string() const {
+  std::string s;
+  if (k_ <= 9) {
+    for (int i = 0; i < k_; ++i) s.push_back(static_cast<char>('0' + sym_[i]));
+  } else {
+    for (int i = 0; i < k_; ++i) {
+      if (i) s.push_back(',');
+      s += std::to_string(static_cast<int>(sym_[i]));
+    }
+  }
+  return s;
+}
+
+bool operator<(const Permutation& a, const Permutation& b) {
+  if (a.k_ != b.k_) return a.k_ < b.k_;
+  for (int i = 0; i < a.k_; ++i) {
+    if (a.sym_[i] != b.sym_[i]) return a.sym_[i] < b.sym_[i];
+  }
+  return false;
+}
+
+}  // namespace scg

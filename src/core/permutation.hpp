@@ -1,0 +1,98 @@
+// Permutations of {1..k} — the node labels of every network in this library.
+//
+// Conventions (fixed throughout the library):
+//  * A permutation U stores symbol u_{p} at 0-based index p-1, where p is the
+//    paper's 1-based *position*.  Position 1 (index 0) is the "outside ball";
+//    positions (i-1)n+2 .. in+1 are the i-th box / super-symbol.
+//  * Symbols are 1..k.  The identity permutation is 1,2,...,k.
+//  * rank()/unrank() use the Myrvold–Ruskey linear-time ranking, giving a
+//    bijection onto 0..k!-1 used as node ids by every graph algorithm.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+
+namespace scg {
+
+/// Maximum number of symbols supported.  20! < 2^64 < 21!, but distances and
+/// BFS arrays limit practical enumeration to k <= 12; routing works for all.
+inline constexpr int kMaxSymbols = 20;
+
+/// k! as a 64-bit integer; valid for 0 <= k <= 20.
+std::uint64_t factorial(int k);
+
+/// A permutation of {1..k} with small fixed storage and value semantics.
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Identity permutation 1,2,...,k.
+  static Permutation identity(int k);
+
+  /// Builds from explicit symbols (validated in debug builds).
+  static Permutation from_symbols(std::span<const std::uint8_t> symbols);
+  static Permutation from_symbols(std::initializer_list<int> symbols);
+
+  /// Parses "5342671"-style digit strings (k <= 9) used in the paper's
+  /// figures; returns the corresponding permutation.
+  static Permutation parse(const std::string& digits);
+
+  /// Myrvold–Ruskey unrank: the permutation of {1..k} with the given rank.
+  static Permutation unrank(int k, std::uint64_t rank);
+
+  /// Myrvold–Ruskey rank in 0..k!-1.  O(k).
+  std::uint64_t rank() const;
+
+  int size() const { return k_; }
+
+  /// Symbol at 0-based index (paper position index+1).
+  std::uint8_t operator[](int index) const { return sym_[index]; }
+  std::uint8_t& operator[](int index) { return sym_[index]; }
+
+  /// Symbol at the paper's 1-based position.
+  std::uint8_t at_position(int pos) const { return sym_[pos - 1]; }
+
+  /// 0-based index currently holding `symbol` (O(k)).
+  int index_of(std::uint8_t symbol) const;
+
+  /// Composition: (*this) then `next` as symbol relabelings is not what we
+  /// want for routing; `compose` returns w with w[i] = this[other[i]-1],
+  /// i.e. `other` selects positions out of *this* ("apply position
+  /// permutation `other` to the label *this*").
+  Permutation compose_positions(const Permutation& other) const;
+
+  /// Relabels symbols: w[i] = relabel[this[i]-1]; used to reduce routing
+  /// U -> V to sorting relabel(U) -> identity with relabel = V^{-1}.
+  Permutation relabel_symbols(const Permutation& relabel) const;
+
+  /// Group inverse: inv[this[i]-1] = i+1.
+  Permutation inverse() const;
+
+  bool is_identity() const;
+
+  /// "5342671"-style string for k <= 9, comma-separated otherwise.
+  std::string to_string() const;
+
+  friend bool operator==(const Permutation& a, const Permutation& b) {
+    if (a.k_ != b.k_) return false;
+    for (int i = 0; i < a.k_; ++i)
+      if (a.sym_[i] != b.sym_[i]) return false;
+    return true;
+  }
+  friend bool operator!=(const Permutation& a, const Permutation& b) {
+    return !(a == b);
+  }
+  /// Lexicographic order on the symbol sequence (for std::map/sort).
+  friend bool operator<(const Permutation& a, const Permutation& b);
+
+  std::span<const std::uint8_t> symbols() const { return {sym_.data(), static_cast<std::size_t>(k_)}; }
+
+ private:
+  std::array<std::uint8_t, kMaxSymbols> sym_{};
+  int k_ = 0;
+};
+
+}  // namespace scg

@@ -1,0 +1,496 @@
+// Game solvers for the ball-arrangement game (paper Section 2).
+//
+// Both solver families share the same box bookkeeping: `boxcolor_[b]` is the
+// color designated to the physical box currently at block position b.  Box
+// moves permute contents *and* designations together, so "the box of color
+// c" is always well defined.  For rotation styles the initial designation is
+// a cyclic shift by a chosen offset (the paper's Figure 3 insight: a good
+// color assignment shortens the play); the public entry points try every
+// offset and keep the shortest word.
+//
+// Box movement is unified over an *allowed rotation set* A ⊆ {1..l-1}: a
+// shift by s places is realised by a shortest word over A (precomputed by
+// BFS over Z_l).  The paper's styles are the special cases A = {1..l-1}
+// (complete), {1, l-1} (bidirectional), {1} (forward); Section 3.3.4's
+// partial-rotation networks use arbitrary generating subsets.
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/bag.hpp"
+
+namespace scg {
+namespace {
+
+std::vector<int> rotations_for_style(BoxMoveStyle style, int l) {
+  std::vector<int> rots;
+  switch (style) {
+    case BoxMoveStyle::kSwap:
+      break;  // no rotations: swaps are used instead
+    case BoxMoveStyle::kCompleteRotation:
+      for (int i = 1; i < l; ++i) rots.push_back(i);
+      break;
+    case BoxMoveStyle::kBidirectionalRotation:
+      rots.push_back(1);
+      if (l > 2) rots.push_back(l - 1);
+      break;
+    case BoxMoveStyle::kForwardRotation:
+      rots.push_back(1);
+      break;
+  }
+  return rots;
+}
+
+class SolverContext {
+ public:
+  SolverContext(const Permutation& start, int l, int n, BoxMoveStyle style,
+                int color_offset)
+      : SolverContext(start, l, n, style, rotations_for_style(style, l),
+                      color_offset) {}
+
+  SolverContext(const Permutation& start, int l, int n, BoxMoveStyle style,
+                const std::vector<int>& rotations, int color_offset)
+      : u_(start), l_(l), n_(n), k_(n * l + 1), style_(style) {
+    if (start.size() != k_) throw std::invalid_argument("solver: size mismatch");
+    boxcolor_.assign(static_cast<std::size_t>(l_) + 1, 0);
+    for (int b = 1; b <= l_; ++b) {
+      boxcolor_[static_cast<std::size_t>(b)] = (b - 1 + color_offset) % l_ + 1;
+    }
+    if (style != BoxMoveStyle::kSwap) build_shift_table(rotations);
+  }
+
+  /// Swap-style context with an explicit (arbitrary bijective) designation;
+  /// Phase 2 sorts any designation, so this is only legal with kSwap.
+  SolverContext(const Permutation& start, int l, int n,
+                std::vector<int> designation)
+      : u_(start), l_(l), n_(n), k_(n * l + 1), style_(BoxMoveStyle::kSwap),
+        boxcolor_(std::move(designation)) {
+    if (start.size() != k_) throw std::invalid_argument("solver: size mismatch");
+    if (boxcolor_.size() != static_cast<std::size_t>(l_) + 1) {
+      throw std::invalid_argument("designation must have l+1 entries (1-based)");
+    }
+  }
+
+  std::vector<Generator> take_word() { return std::move(word_); }
+
+  /// Worst-case cost of bringing any block to the front (for fuses/bounds).
+  int max_fetch_cost() const {
+    if (style_ == BoxMoveStyle::kSwap) return 1;
+    int worst = 0;
+    for (int s = 0; s < l_; ++s) {
+      worst = std::max(worst, static_cast<int>(shift_seq_[static_cast<std::size_t>(s)].size()));
+    }
+    return worst;
+  }
+
+  // ---- transposition-game solver (Balls-to-Boxes, Section 2.1) ----
+  void run_transposition() {
+    // Guard against bugs: never exceed a generous multiple of the bound.
+    const int fuse = (4 * balls_to_boxes_step_bound(l_, n_) + 4 * k_ + 16) *
+                     std::max(1, max_fetch_cost());
+    while (static_cast<int>(word_.size()) <= fuse) {
+      const int s = u_[0];
+      if (s == 1) {                       // Case 1.1: outside ball has color 0
+        if (all_boxes_clean_t()) break;
+        if (box_clean_t(1)) bring_block_to_front(pick_dirty_block_t());
+        emit(transposition(pick_dirty_offset_in_front() + 2));
+      } else {                            // Case 1.2: outside ball has color c
+        const int c = ball_color(s, n_);
+        if (boxcolor_[1] != c) bring_block_to_front(block_of_color(c));
+        emit(transposition(ball_offset(s, n_) + 2));
+      }
+    }
+    finish_boxes();
+  }
+
+  // ---- insertion-game solver (Section 2.3) ----
+  void run_insertion() {
+    const int fuse =
+        (2 * insertion_game_step_bound(l_, n_, BoxMoveStyle::kSwap) + 4 * k_ + 16) *
+        std::max(1, max_fetch_cost());
+    while (static_cast<int>(word_.size()) <= fuse) {
+      const int s = u_[0];
+      if (s == 1) {
+        if (all_boxes_clean_i()) break;
+        bring_block_to_front(pick_dirty_block_i());
+        // Park ball 1 at the (c+1)-th rightmost position of the dirty box.
+        const int c = clean_suffix_len(1);
+        emit(insertion(n_ - c + 1));
+      } else {
+        const int color = ball_color(s, n_);
+        if (boxcolor_[1] != color) bring_block_to_front(block_of_color(color));
+        // Insert so that the clean suffix stays ascending: exactly the
+        // suffix balls greater than s remain to its right.
+        int greater = 0;
+        const int c = clean_suffix_len(1);
+        for (int off = n_ - c; off < n_; ++off) {
+          if (ball_at(1, off) > s) ++greater;
+        }
+        emit(insertion(n_ - greater + 1));
+      }
+    }
+    finish_boxes();
+  }
+
+  bool solved() const {
+    if (!u_.is_identity()) return false;
+    for (int b = 1; b <= l_; ++b) {
+      if (boxcolor_[static_cast<std::size_t>(b)] != b) return false;
+    }
+    return true;
+  }
+
+ private:
+  int ball_at(int block, int off) const { return u_[(block - 1) * n_ + 1 + off]; }
+
+  void emit(Generator g) {
+    g.apply(u_);
+    word_.push_back(g);
+  }
+
+  int block_of_color(int c) const {
+    for (int b = 1; b <= l_; ++b) {
+      if (boxcolor_[static_cast<std::size_t>(b)] == c) return b;
+    }
+    assert(false && "color not designated");
+    return 1;
+  }
+
+  // ---- box movement ----
+
+  /// BFS over Z_l: shortest word over the allowed rotation amounts realising
+  /// each total shift s (contents of block b move to block b+s, cyclically).
+  void build_shift_table(const std::vector<int>& rotations) {
+    if (rotations.empty()) {
+      throw std::invalid_argument("rotation solver needs rotation moves");
+    }
+    shift_seq_.assign(static_cast<std::size_t>(l_), {});
+    std::vector<bool> have(static_cast<std::size_t>(l_), false);
+    have[0] = true;
+    std::vector<int> frontier{0};
+    while (!frontier.empty()) {
+      std::vector<int> next;
+      for (const int s : frontier) {
+        for (const int r : rotations) {
+          const int t = (s + r) % l_;
+          if (have[static_cast<std::size_t>(t)]) continue;
+          have[static_cast<std::size_t>(t)] = true;
+          shift_seq_[static_cast<std::size_t>(t)] =
+              shift_seq_[static_cast<std::size_t>(s)];
+          shift_seq_[static_cast<std::size_t>(t)].push_back(r);
+          next.push_back(t);
+        }
+      }
+      frontier.swap(next);
+    }
+    for (int s = 1; s < l_; ++s) {
+      if (!have[static_cast<std::size_t>(s)]) {
+        throw std::invalid_argument(
+            "rotation set does not generate Z_l: boxes cannot be sorted");
+      }
+    }
+  }
+
+  /// Steps needed to bring block j to the front.
+  int bring_cost(int j) const {
+    if (j == 1) return 0;
+    if (style_ == BoxMoveStyle::kSwap) return 1;
+    const int shift = (l_ + 1 - j) % l_;
+    return static_cast<int>(shift_seq_[static_cast<std::size_t>(shift)].size());
+  }
+
+  void rotate_boxcolor(int shift) {
+    std::vector<int> next = boxcolor_;
+    for (int b = 1; b <= l_; ++b) {
+      next[static_cast<std::size_t>((b - 1 + shift) % l_ + 1)] =
+          boxcolor_[static_cast<std::size_t>(b)];
+    }
+    boxcolor_ = std::move(next);
+  }
+
+  void apply_shift(int shift) {
+    if (shift == 0) return;
+    for (const int r : shift_seq_[static_cast<std::size_t>(shift)]) {
+      emit(rotation(r, n_));
+    }
+    rotate_boxcolor(shift);
+  }
+
+  void bring_block_to_front(int j) {
+    if (j == 1) return;
+    if (style_ == BoxMoveStyle::kSwap) {
+      emit(swap_boxes(j, n_));
+      std::swap(boxcolor_[1], boxcolor_[static_cast<std::size_t>(j)]);
+      return;
+    }
+    apply_shift((l_ + 1 - j) % l_);
+  }
+
+  // ---- transposition-game cleanliness ----
+
+  bool ball_clean_t(int block, int off) const {
+    const int s = ball_at(block, off);
+    return s != 1 && boxcolor_[static_cast<std::size_t>(block)] == ball_color(s, n_) &&
+           off == ball_offset(s, n_);
+  }
+
+  bool box_clean_t(int block) const {
+    for (int off = 0; off < n_; ++off) {
+      if (!ball_clean_t(block, off)) return false;
+    }
+    return true;
+  }
+
+  bool all_boxes_clean_t() const {
+    for (int b = 1; b <= l_; ++b) {
+      if (!box_clean_t(b)) return false;
+    }
+    return true;
+  }
+
+  int pick_dirty_block_t() const {
+    int best = -1;
+    int best_cost = std::numeric_limits<int>::max();
+    for (int b = 1; b <= l_; ++b) {
+      if (box_clean_t(b)) continue;
+      const int cost = bring_cost(b);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = b;
+      }
+    }
+    assert(best != -1);
+    return best;
+  }
+
+  /// Dirty ball in the front box to pull out when the outside ball is 1.
+  /// Prefer a ball that belongs to the front box (it can be re-placed
+  /// immediately without a box move), matching the efficient play of [32].
+  int pick_dirty_offset_in_front() const {
+    int fallback = -1;
+    for (int off = 0; off < n_; ++off) {
+      if (ball_clean_t(1, off)) continue;
+      const int s = ball_at(1, off);
+      if (s != 1 && ball_color(s, n_) == boxcolor_[1]) return off;
+      if (fallback == -1) fallback = off;
+    }
+    assert(fallback != -1);
+    return fallback;
+  }
+
+  // ---- insertion-game cleanliness ----
+
+  /// Length of the clean suffix of `block`: the maximal run of rightmost
+  /// balls that all carry the box's designated color and ascend.
+  int clean_suffix_len(int block) const {
+    const int c = boxcolor_[static_cast<std::size_t>(block)];
+    int len = 0;
+    int prev = std::numeric_limits<int>::max();
+    for (int off = n_ - 1; off >= 0; --off) {
+      const int s = ball_at(block, off);
+      if (s == 1 || ball_color(s, n_) != c || s >= prev) break;
+      prev = s;
+      ++len;
+    }
+    return len;
+  }
+
+  bool all_boxes_clean_i() const {
+    for (int b = 1; b <= l_; ++b) {
+      if (clean_suffix_len(b) != n_) return false;
+    }
+    return true;
+  }
+
+  int pick_dirty_block_i() const {
+    int best = -1;
+    int best_cost = std::numeric_limits<int>::max();
+    for (int b = 1; b <= l_; ++b) {
+      if (clean_suffix_len(b) == n_) continue;
+      const int cost = bring_cost(b);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = b;
+      }
+    }
+    assert(best != -1);
+    return best;
+  }
+
+  // ---- final box-ordering phase (Phase 2 / the closing rotation) ----
+
+  void finish_boxes() {
+    if (l_ == 1) return;
+    if (style_ == BoxMoveStyle::kSwap) {
+      // Star-style sorting of the designation array with swap moves:
+      // at most floor(1.5 (l-1)) steps.
+      for (;;) {
+        bool sorted = true;
+        for (int b = 1; b <= l_; ++b) {
+          if (boxcolor_[static_cast<std::size_t>(b)] != b) {
+            sorted = false;
+            break;
+          }
+        }
+        if (sorted) return;
+        if (boxcolor_[1] == 1) {
+          for (int b = 2; b <= l_; ++b) {
+            if (boxcolor_[static_cast<std::size_t>(b)] != b) {
+              emit(swap_boxes(b, n_));
+              std::swap(boxcolor_[1], boxcolor_[static_cast<std::size_t>(b)]);
+              break;
+            }
+          }
+        } else {
+          const int home = boxcolor_[1];
+          emit(swap_boxes(home, n_));
+          std::swap(boxcolor_[1], boxcolor_[static_cast<std::size_t>(home)]);
+        }
+      }
+    }
+    // Rotation styles: the designation is a cyclic shift of the identity;
+    // the contents of block b (color boxcolor_[b]) must land on block
+    // boxcolor_[b], so rotate forward by boxcolor_[1] - 1.
+    apply_shift(((boxcolor_[1] - 1) % l_ + l_) % l_);
+  }
+
+  Permutation u_;
+  const int l_;
+  const int n_;
+  const int k_;
+  const BoxMoveStyle style_;
+  std::vector<int> boxcolor_;  // 1-based: designation of the box at block b
+  std::vector<std::vector<int>> shift_seq_;  // shortest rotation word per shift
+  std::vector<Generator> word_;
+};
+
+template <typename Run>
+std::vector<Generator> best_over_offsets(const Permutation& start, int l, int n,
+                                         BoxMoveStyle style,
+                                         const std::vector<int>* rotations,
+                                         Run run) {
+  // Swaps can realise any designation in Phase 2, so the canonical identity
+  // designation is used; rotations preserve the cyclic order, so every
+  // cyclic offset is a legal designation and we keep the best.
+  const int offsets = (style == BoxMoveStyle::kSwap || l == 1) ? 1 : l;
+  std::vector<Generator> best;
+  bool have = false;
+  for (int b = 0; b < offsets; ++b) {
+    SolverContext ctx =
+        rotations ? SolverContext(start, l, n, style, *rotations, b)
+                  : SolverContext(start, l, n, style, b);
+    run(ctx);
+    if (!ctx.solved()) {
+      throw std::logic_error("BAG solver failed to reach the goal state");
+    }
+    std::vector<Generator> w = ctx.take_word();
+    if (!have || w.size() < best.size()) {
+      best = std::move(w);
+      have = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<Generator> solve_transposition_game(const Permutation& start, int l,
+                                                int n, BoxMoveStyle style) {
+  return best_over_offsets(start, l, n, style, nullptr,
+                           [](SolverContext& c) { c.run_transposition(); });
+}
+
+std::vector<Generator> solve_insertion_game(const Permutation& start, int l,
+                                            int n, BoxMoveStyle style) {
+  return best_over_offsets(start, l, n, style, nullptr,
+                           [](SolverContext& c) { c.run_insertion(); });
+}
+
+std::vector<Generator> solve_one_box_insertion(const Permutation& start) {
+  return solve_insertion_game(start, 1, start.size() - 1, BoxMoveStyle::kSwap);
+}
+
+std::vector<Generator> solve_transposition_game_with_offset(
+    const Permutation& start, int l, int n, BoxMoveStyle style, int offset) {
+  SolverContext ctx(start, l, n, style, offset);
+  ctx.run_transposition();
+  if (!ctx.solved()) throw std::logic_error("BAG solver failed (fixed offset)");
+  return ctx.take_word();
+}
+
+std::vector<Generator> solve_insertion_game_with_offset(
+    const Permutation& start, int l, int n, BoxMoveStyle style, int offset) {
+  SolverContext ctx(start, l, n, style, offset);
+  ctx.run_insertion();
+  if (!ctx.solved()) throw std::logic_error("BAG solver failed (fixed offset)");
+  return ctx.take_word();
+}
+
+std::vector<Generator> solve_transposition_game_greedy_designation(
+    const Permutation& start, int l, int n) {
+  // With swap super moves any designation bijection is admissible (Phase 2
+  // sorts all of them), so pick one greedily: designate each physical box
+  // the color it already holds the most balls of (ties by cheaper Phase 2).
+  const int k = n * l + 1;
+  if (start.size() != k) throw std::invalid_argument("solver: size mismatch");
+  // weight[b][c] = balls of color c in block b (1-based).
+  std::vector<std::vector<int>> weight(static_cast<std::size_t>(l) + 1,
+                                       std::vector<int>(static_cast<std::size_t>(l) + 1, 0));
+  for (int b = 1; b <= l; ++b) {
+    for (int off = 0; off < n; ++off) {
+      const int s = start[(b - 1) * n + 1 + off];
+      const int c = ball_color(s, n);
+      if (c >= 1) ++weight[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)];
+    }
+  }
+  std::vector<int> designation(static_cast<std::size_t>(l) + 1, 0);
+  std::vector<bool> box_done(static_cast<std::size_t>(l) + 1, false);
+  std::vector<bool> color_done(static_cast<std::size_t>(l) + 1, false);
+  for (int round = 0; round < l; ++round) {
+    int best_b = -1;
+    int best_c = -1;
+    int best_w = -1;
+    for (int b = 1; b <= l; ++b) {
+      if (box_done[static_cast<std::size_t>(b)]) continue;
+      for (int c = 1; c <= l; ++c) {
+        if (color_done[static_cast<std::size_t>(c)]) continue;
+        int w = 2 * weight[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)];
+        if (b == c) ++w;  // favour the identity designation on ties
+        if (w > best_w) {
+          best_w = w;
+          best_b = b;
+          best_c = c;
+        }
+      }
+    }
+    designation[static_cast<std::size_t>(best_b)] = best_c;
+    box_done[static_cast<std::size_t>(best_b)] = true;
+    color_done[static_cast<std::size_t>(best_c)] = true;
+  }
+  SolverContext greedy(start, l, n, designation);
+  greedy.run_transposition();
+  if (!greedy.solved()) throw std::logic_error("greedy designation failed");
+  std::vector<Generator> best = greedy.take_word();
+  // Never worse than the canonical identity designation.
+  std::vector<Generator> base =
+      solve_transposition_game(start, l, n, BoxMoveStyle::kSwap);
+  return base.size() < best.size() ? base : best;
+}
+
+std::vector<Generator> solve_transposition_game_custom_rotations(
+    const Permutation& start, int l, int n, const std::vector<int>& rotations) {
+  return best_over_offsets(start, l, n, BoxMoveStyle::kCompleteRotation,
+                           &rotations,
+                           [](SolverContext& c) { c.run_transposition(); });
+}
+
+std::vector<Generator> solve_insertion_game_custom_rotations(
+    const Permutation& start, int l, int n, const std::vector<int>& rotations) {
+  return best_over_offsets(start, l, n, BoxMoveStyle::kCompleteRotation,
+                           &rotations,
+                           [](SolverContext& c) { c.run_insertion(); });
+}
+
+}  // namespace scg

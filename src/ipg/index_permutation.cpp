@@ -1,0 +1,139 @@
+#include "ipg/index_permutation.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace scg {
+
+IpgShape::IpgShape(std::vector<int> multiplicity)
+    : multiplicity_(std::move(multiplicity)) {
+  if (multiplicity_.empty()) throw std::invalid_argument("IpgShape: empty alphabet");
+  for (const int m : multiplicity_) {
+    if (m < 0) throw std::invalid_argument("IpgShape: negative multiplicity");
+    length_ += m;
+  }
+  if (length_ < 1 || length_ > kMaxSymbols) {
+    throw std::invalid_argument("IpgShape: bad total length");
+  }
+  num_states_ = arrangements(multiplicity_);
+}
+
+std::uint64_t IpgShape::arrangements(const std::vector<int>& counts) const {
+  // Multinomial via incremental products to limit intermediate overflow:
+  // prod over symbols of C(running_total, count).
+  auto choose = [](std::uint64_t n, std::uint64_t r) {
+    if (r > n) return std::uint64_t{0};
+    r = std::min(r, n - r);
+    std::uint64_t result = 1;
+    for (std::uint64_t i = 1; i <= r; ++i) {
+      result = result * (n - r + i) / i;  // exact at every step
+    }
+    return result;
+  };
+  std::uint64_t total = 0;
+  std::uint64_t result = 1;
+  for (const int c : counts) {
+    total += static_cast<std::uint64_t>(c);
+    result *= choose(total, static_cast<std::uint64_t>(c));
+  }
+  return result;
+}
+
+IndexPermutation IndexPermutation::sorted(const IpgShape& shape) {
+  IndexPermutation p;
+  p.len_ = shape.length();
+  int pos = 0;
+  for (int a = 0; a < shape.alphabet(); ++a) {
+    for (int i = 0; i < shape.multiplicity(a); ++i) {
+      p.sym_[static_cast<std::size_t>(pos++)] = static_cast<std::uint8_t>(a);
+    }
+  }
+  return p;
+}
+
+IndexPermutation IndexPermutation::from_symbols(const IpgShape& shape,
+                                                const std::vector<int>& symbols) {
+  if (static_cast<int>(symbols.size()) != shape.length()) {
+    throw std::invalid_argument("IndexPermutation: wrong length");
+  }
+  std::vector<int> counts(static_cast<std::size_t>(shape.alphabet()), 0);
+  IndexPermutation p;
+  p.len_ = shape.length();
+  for (int i = 0; i < p.len_; ++i) {
+    const int s = symbols[static_cast<std::size_t>(i)];
+    if (s < 0 || s >= shape.alphabet()) {
+      throw std::invalid_argument("IndexPermutation: symbol out of alphabet");
+    }
+    ++counts[static_cast<std::size_t>(s)];
+    p.sym_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(s);
+  }
+  for (int a = 0; a < shape.alphabet(); ++a) {
+    if (counts[static_cast<std::size_t>(a)] != shape.multiplicity(a)) {
+      throw std::invalid_argument("IndexPermutation: multiplicity mismatch");
+    }
+  }
+  return p;
+}
+
+IndexPermutation IndexPermutation::unrank(const IpgShape& shape, std::uint64_t rank) {
+  std::vector<int> counts(static_cast<std::size_t>(shape.alphabet()));
+  for (int a = 0; a < shape.alphabet(); ++a) counts[static_cast<std::size_t>(a)] = shape.multiplicity(a);
+  IndexPermutation p;
+  p.len_ = shape.length();
+  for (int pos = 0; pos < p.len_; ++pos) {
+    for (int a = 0; a < shape.alphabet(); ++a) {
+      if (counts[static_cast<std::size_t>(a)] == 0) continue;
+      --counts[static_cast<std::size_t>(a)];
+      const std::uint64_t block = shape.arrangements(counts);
+      if (rank < block) {
+        p.sym_[static_cast<std::size_t>(pos)] = static_cast<std::uint8_t>(a);
+        break;
+      }
+      rank -= block;
+      ++counts[static_cast<std::size_t>(a)];
+    }
+  }
+  return p;
+}
+
+std::uint64_t IndexPermutation::rank(const IpgShape& shape) const {
+  std::vector<int> counts(static_cast<std::size_t>(shape.alphabet()));
+  for (int a = 0; a < shape.alphabet(); ++a) counts[static_cast<std::size_t>(a)] = shape.multiplicity(a);
+  std::uint64_t r = 0;
+  for (int pos = 0; pos < len_; ++pos) {
+    const int here = sym_[static_cast<std::size_t>(pos)];
+    for (int a = 0; a < here; ++a) {
+      if (counts[static_cast<std::size_t>(a)] == 0) continue;
+      --counts[static_cast<std::size_t>(a)];
+      r += shape.arrangements(counts);
+      ++counts[static_cast<std::size_t>(a)];
+    }
+    --counts[static_cast<std::size_t>(here)];
+  }
+  return r;
+}
+
+IndexPermutation IndexPermutation::compose_positions(const Permutation& g) const {
+  assert(g.size() == len_);
+  IndexPermutation out;
+  out.len_ = len_;
+  for (int i = 0; i < len_; ++i) {
+    out.sym_[static_cast<std::size_t>(i)] = sym_[static_cast<std::size_t>(g[i] - 1)];
+  }
+  return out;
+}
+
+IndexPermutation IndexPermutation::apply(const Generator& g) const {
+  return compose_positions(g.as_position_permutation(len_));
+}
+
+std::string IndexPermutation::to_string() const {
+  std::string s;
+  for (int i = 0; i < len_; ++i) {
+    s.push_back(static_cast<char>('0' + sym_[static_cast<std::size_t>(i)]));
+  }
+  return s;
+}
+
+}  // namespace scg

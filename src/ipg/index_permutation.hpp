@@ -1,0 +1,92 @@
+// Index permutations: sequences over a small alphabet with fixed symbol
+// multiplicities (multiset permutations).  Section 4.3 of the paper points
+// to *super-index-permutation graphs* — ball-arrangement games where some
+// balls share a number [31,34,36,37] — as the construction achieving
+// optimal intercluster diameters when clusters are larger than one nucleus.
+//
+// This module provides the state space: an `IndexPermutation` stores one
+// arrangement; rank()/unrank() give a bijection onto
+// 0 .. (k! / prod(m_a!)) - 1 via standard multinomial ranking, so the BFS
+// and metric machinery can treat IPG states exactly like permutation ranks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "core/permutation.hpp"
+
+namespace scg {
+
+/// Fixed multiset shape: multiplicity[a] = number of balls with number `a`
+/// (alphabet 0..A-1).  Total length = sum of multiplicities (<= kMaxSymbols).
+class IpgShape {
+ public:
+  explicit IpgShape(std::vector<int> multiplicity);
+
+  int alphabet() const { return static_cast<int>(multiplicity_.size()); }
+  int length() const { return length_; }
+  int multiplicity(int symbol) const { return multiplicity_[static_cast<std::size_t>(symbol)]; }
+
+  /// Number of distinct arrangements: length! / prod(multiplicity_a!).
+  std::uint64_t num_states() const { return num_states_; }
+
+  /// Multinomial coefficient: arrangements of the given remaining counts.
+  std::uint64_t arrangements(const std::vector<int>& counts) const;
+
+ private:
+  std::vector<int> multiplicity_;
+  int length_ = 0;
+  std::uint64_t num_states_ = 0;
+};
+
+/// One arrangement of the multiset.  Value semantics, small storage.
+class IndexPermutation {
+ public:
+  IndexPermutation() = default;
+
+  /// The canonical sorted arrangement 0^m0 1^m1 2^m2 ... (ascending runs).
+  static IndexPermutation sorted(const IpgShape& shape);
+
+  /// Builds from explicit symbols (validated against the shape).
+  static IndexPermutation from_symbols(const IpgShape& shape,
+                                       const std::vector<int>& symbols);
+
+  /// Lexicographic multinomial unrank.
+  static IndexPermutation unrank(const IpgShape& shape, std::uint64_t rank);
+
+  /// Lexicographic multinomial rank in 0 .. num_states()-1.
+  std::uint64_t rank(const IpgShape& shape) const;
+
+  int length() const { return len_; }
+  int operator[](int index) const { return sym_[static_cast<std::size_t>(index)]; }
+
+  /// Applies a position permutation `g` (of matching length): the result's
+  /// position p holds this arrangement's symbol at position g[p].  All
+  /// core generators act on IPG states through this.
+  IndexPermutation compose_positions(const Permutation& g) const;
+
+  /// Applies a Generator (via its position permutation).
+  IndexPermutation apply(const Generator& g) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const IndexPermutation& a, const IndexPermutation& b) {
+    if (a.len_ != b.len_) return false;
+    for (int i = 0; i < a.len_; ++i) {
+      if (a.sym_[static_cast<std::size_t>(i)] != b.sym_[static_cast<std::size_t>(i)]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const IndexPermutation& a, const IndexPermutation& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::array<std::uint8_t, kMaxSymbols> sym_{};
+  int len_ = 0;
+};
+
+}  // namespace scg

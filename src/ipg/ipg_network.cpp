@@ -1,0 +1,275 @@
+#include "ipg/ipg_network.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "topology/bfs.hpp"
+
+namespace scg {
+namespace {
+
+IpgShape shape_for(int l, int n) {
+  std::vector<int> mult(static_cast<std::size_t>(l) + 1, n);
+  mult[0] = 1;  // the single outside ball
+  return IpgShape(std::move(mult));
+}
+
+/// Color-level Balls-to-Boxes: balls of a box are interchangeable, so a
+/// ball is clean iff its color matches the box designation — no within-box
+/// ordering phase exists.
+class IpgSolver {
+ public:
+  IpgSolver(const IpgSpec& net, const IndexPermutation& start, int offset)
+      : net_(net), u_(start) {
+    boxcolor_.assign(static_cast<std::size_t>(net.l) + 1, 0);
+    for (int b = 1; b <= net.l; ++b) {
+      boxcolor_[static_cast<std::size_t>(b)] = (b - 1 + offset) % net.l + 1;
+    }
+    if (net.style != BoxMoveStyle::kSwap) {
+      std::vector<int> rots;
+      switch (net.style) {
+        case BoxMoveStyle::kCompleteRotation:
+          for (int i = 1; i < net.l; ++i) rots.push_back(i);
+          break;
+        case BoxMoveStyle::kBidirectionalRotation:
+          rots.push_back(1);
+          if (net.l > 2) rots.push_back(net.l - 1);
+          break;
+        case BoxMoveStyle::kForwardRotation:
+          rots.push_back(1);
+          break;
+        case BoxMoveStyle::kSwap:
+          break;
+      }
+      shift_seq_ = rotation_shift_sequences(net.l, rots);
+    }
+  }
+
+  std::vector<Generator> run() {
+    const int fuse = 8 * net_.k() + 8 * net_.l + 32;
+    while (static_cast<int>(word_.size()) <= fuse) {
+      const int c0 = u_[0];
+      if (c0 == 0) {
+        if (all_clean()) break;
+        if (box_clean(1)) bring_to_front(pick_dirty_block());
+        emit(transposition(dirty_offset(1) + 2));
+      } else {
+        if (boxcolor_[1] != c0) bring_to_front(block_of_color(c0));
+        emit(transposition(dirty_offset(1) + 2));
+      }
+    }
+    finish();
+    if (u_ != IndexPermutation::sorted(net_.shape)) {
+      throw std::logic_error("IPG solver failed");
+    }
+    return std::move(word_);
+  }
+
+ private:
+  int ball(int block, int off) const { return u_[(block - 1) * net_.n + 1 + off]; }
+
+  bool box_clean(int block) const {
+    for (int off = 0; off < net_.n; ++off) {
+      if (ball(block, off) != boxcolor_[static_cast<std::size_t>(block)]) return false;
+    }
+    return true;
+  }
+
+  bool all_clean() const {
+    for (int b = 1; b <= net_.l; ++b) {
+      if (!box_clean(b)) return false;
+    }
+    return true;
+  }
+
+  int dirty_offset(int block) const {
+    for (int off = 0; off < net_.n; ++off) {
+      if (ball(block, off) != boxcolor_[static_cast<std::size_t>(block)]) return off;
+    }
+    throw std::logic_error("no dirty slot in box");
+  }
+
+  int pick_dirty_block() const {
+    int best = -1;
+    int best_cost = std::numeric_limits<int>::max();
+    for (int b = 1; b <= net_.l; ++b) {
+      if (box_clean(b)) continue;
+      const int cost = bring_cost(b);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = b;
+      }
+    }
+    if (best == -1) throw std::logic_error("no dirty box");
+    return best;
+  }
+
+  int block_of_color(int c) const {
+    for (int b = 1; b <= net_.l; ++b) {
+      if (boxcolor_[static_cast<std::size_t>(b)] == c) return b;
+    }
+    throw std::logic_error("color not designated");
+  }
+
+  int bring_cost(int j) const {
+    if (j == 1) return 0;
+    if (net_.style == BoxMoveStyle::kSwap) return 1;
+    const int shift = (net_.l + 1 - j) % net_.l;
+    return static_cast<int>(shift_seq_[static_cast<std::size_t>(shift)].size());
+  }
+
+  void emit(Generator g) {
+    u_ = u_.apply(g);
+    word_.push_back(g);
+  }
+
+  void rotate_boxcolor(int shift) {
+    std::vector<int> next = boxcolor_;
+    for (int b = 1; b <= net_.l; ++b) {
+      next[static_cast<std::size_t>((b - 1 + shift) % net_.l + 1)] =
+          boxcolor_[static_cast<std::size_t>(b)];
+    }
+    boxcolor_ = std::move(next);
+  }
+
+  void apply_shift(int shift) {
+    if (shift == 0) return;
+    for (const int r : shift_seq_[static_cast<std::size_t>(shift)]) {
+      emit(rotation(r, net_.n));
+    }
+    rotate_boxcolor(shift);
+  }
+
+  void bring_to_front(int j) {
+    if (j == 1) return;
+    if (net_.style == BoxMoveStyle::kSwap) {
+      emit(swap_boxes(j, net_.n));
+      std::swap(boxcolor_[1], boxcolor_[static_cast<std::size_t>(j)]);
+      return;
+    }
+    apply_shift((net_.l + 1 - j) % net_.l);
+  }
+
+  void finish() {
+    if (net_.l == 1) return;
+    if (net_.style == BoxMoveStyle::kSwap) {
+      for (;;) {
+        bool sorted = true;
+        for (int b = 1; b <= net_.l; ++b) {
+          if (boxcolor_[static_cast<std::size_t>(b)] != b) {
+            sorted = false;
+            break;
+          }
+        }
+        if (sorted) return;
+        if (boxcolor_[1] == 1) {
+          for (int b = 2; b <= net_.l; ++b) {
+            if (boxcolor_[static_cast<std::size_t>(b)] != b) {
+              emit(swap_boxes(b, net_.n));
+              std::swap(boxcolor_[1], boxcolor_[static_cast<std::size_t>(b)]);
+              break;
+            }
+          }
+        } else {
+          const int home = boxcolor_[1];
+          emit(swap_boxes(home, net_.n));
+          std::swap(boxcolor_[1], boxcolor_[static_cast<std::size_t>(home)]);
+        }
+      }
+    }
+    apply_shift(((boxcolor_[1] - 1) % net_.l + net_.l) % net_.l);
+  }
+
+  const IpgSpec& net_;
+  IndexPermutation u_;
+  std::vector<int> boxcolor_;
+  std::vector<std::vector<int>> shift_seq_;
+  std::vector<Generator> word_;
+};
+
+}  // namespace
+
+IpgSpec make_super_ip_star(int l, int n) {
+  if (l < 1 || n < 1) throw std::invalid_argument("super-IP star: l, n >= 1");
+  IpgSpec s{.name = "SIP-star(" + std::to_string(l) + "," + std::to_string(n) + ")",
+            .l = l,
+            .n = n,
+            .shape = shape_for(l, n),
+            .generators = {},
+            .style = BoxMoveStyle::kSwap};
+  for (int i = 2; i <= n + 1; ++i) s.generators.push_back(transposition(i));
+  for (int i = 2; i <= l; ++i) s.generators.push_back(swap_boxes(i, n));
+  return s;
+}
+
+IpgSpec make_super_ip_complete_rotation(int l, int n) {
+  if (l < 2 || n < 1) throw std::invalid_argument("super-IP cR: l >= 2, n >= 1");
+  IpgSpec s{.name = "SIP-cRS(" + std::to_string(l) + "," + std::to_string(n) + ")",
+            .l = l,
+            .n = n,
+            .shape = shape_for(l, n),
+            .generators = {},
+            .style = BoxMoveStyle::kCompleteRotation};
+  for (int i = 2; i <= n + 1; ++i) s.generators.push_back(transposition(i));
+  for (int i = 1; i < l; ++i) s.generators.push_back(rotation(i, n));
+  return s;
+}
+
+DistanceStats ipg_distance_stats(const IpgSpec& net) {
+  const IpgView view{&net};
+  return summarize(bfs_distances(view, net.goal().rank(net.shape)));
+}
+
+AllPairsStats ipg_all_pairs_stats(const IpgSpec& net) {
+  const IpgView view{&net};
+  const std::uint64_t n = net.num_nodes();
+  AllPairsStats out;
+  std::uint64_t sum = 0;
+  std::uint64_t pairs = 0;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    const DistanceStats s = summarize(bfs_distances(view, u));
+    out.diameter = std::max(out.diameter, s.eccentricity);
+    out.connected = out.connected && s.all_reachable();
+    for (std::size_t d = 1; d < s.histogram.size(); ++d) {
+      sum += d * s.histogram[d];
+      pairs += s.histogram[d];
+    }
+  }
+  out.average = pairs ? static_cast<double>(sum) / static_cast<double>(pairs) : 0.0;
+  return out;
+}
+
+std::vector<Generator> solve_ipg(const IpgSpec& net, const IndexPermutation& start) {
+  const int offsets = net.style == BoxMoveStyle::kSwap ? 1 : net.l;
+  std::vector<Generator> best;
+  bool have = false;
+  for (int b = 0; b < offsets; ++b) {
+    IpgSolver solver(net, start, b);
+    std::vector<Generator> w = solver.run();
+    if (!have || w.size() < best.size()) {
+      best = std::move(w);
+      have = true;
+    }
+  }
+  return best;
+}
+
+std::string check_ipg_word(const IpgSpec& net, const IndexPermutation& start,
+                           const std::vector<Generator>& word) {
+  IndexPermutation u = start;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (std::find(net.generators.begin(), net.generators.end(), word[i]) ==
+        net.generators.end()) {
+      return "move " + std::to_string(i) + " (" + word[i].name() +
+             ") is not a generator";
+    }
+    u = u.apply(word[i]);
+  }
+  if (u != net.goal()) {
+    return "word ends at " + u.to_string() + ", not the goal";
+  }
+  return "";
+}
+
+}  // namespace scg

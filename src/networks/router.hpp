@@ -1,0 +1,39 @@
+// Routing in super Cayley graphs = solving the corresponding
+// ball-arrangement game (Section 3 of the paper).
+//
+// To route U -> V we relabel symbols by V^{-1} (position moves commute with
+// symbol relabeling), reducing the problem to sorting W = V^{-1}∘U to the
+// identity with the network's permissible moves; the emitted word, replayed
+// from U, ends exactly at V.
+#pragma once
+
+#include <vector>
+
+#include "core/bag.hpp"
+#include "networks/super_cayley.hpp"
+
+namespace scg {
+
+/// Computes a routing path from `from` to `to` as a word of generators, all
+/// of which belong to `net.generators`.  Worst-case length obeys the
+/// network's diameter bound (see core/bag.hpp bounds).  Throws on size
+/// mismatch.
+std::vector<Generator> route(const NetworkSpec& net, const Permutation& from,
+                             const Permutation& to);
+
+/// Number of hops `route` would take (word length).
+int route_length(const NetworkSpec& net, const Permutation& from,
+                 const Permutation& to);
+
+/// The full play: every intermediate node on the path.
+GameTrace route_trace(const NetworkSpec& net, const Permutation& from,
+                      const Permutation& to);
+
+/// Verifies a routing word hop by hop: every move is a generator of `net`
+/// and the walk from `from` ends at `to`.  Returns "" on success, else an
+/// explanation.
+std::string check_route(const NetworkSpec& net, const Permutation& from,
+                        const Permutation& to,
+                        const std::vector<Generator>& word);
+
+}  // namespace scg

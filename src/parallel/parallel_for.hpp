@@ -1,0 +1,94 @@
+// Chunked parallel-for on top of ThreadPool, plus a parallel reduction.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace scg {
+
+/// Runs `body(begin, end)` over disjoint chunks of [0, n) on the pool.
+/// Blocks until all chunks complete.  `body` must be thread-safe across
+/// disjoint ranges.  With `grain` elements or fewer, runs inline (no pool).
+template <typename Body>
+void parallel_for_chunks(std::uint64_t n, Body&& body,
+                         std::uint64_t grain = 1 << 12,
+                         ThreadPool* pool = nullptr) {
+  if (n == 0) return;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (n <= grain || pool->size() <= 1) {
+    body(std::uint64_t{0}, n);
+    return;
+  }
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(pool->size() * 4, (n + grain - 1) / grain);
+  const std::uint64_t step = (n + chunks - 1) / chunks;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t lo = c * step;
+    const std::uint64_t hi = std::min(n, lo + step);
+    if (lo >= hi) break;
+    pool->submit([lo, hi, &body] { body(lo, hi); });
+  }
+  pool->wait_idle();
+}
+
+/// Like parallel_for_chunks but the body also receives a dense chunk index
+/// in [0, num_chunks); `setup(num_chunks)` runs once before any chunk so the
+/// caller can size per-chunk output buffers.
+template <typename Setup, typename Body>
+void parallel_for_chunks_indexed(std::uint64_t n, Setup&& setup, Body&& body,
+                                 std::uint64_t grain = 1 << 12,
+                                 ThreadPool* pool = nullptr) {
+  if (n == 0) {
+    setup(std::uint64_t{0});
+    return;
+  }
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (n <= grain || pool->size() <= 1) {
+    setup(std::uint64_t{1});
+    body(std::uint64_t{0}, n, std::uint64_t{0});
+    return;
+  }
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(pool->size() * 4, (n + grain - 1) / grain);
+  const std::uint64_t step = (n + chunks - 1) / chunks;
+  const std::uint64_t used = (n + step - 1) / step;
+  setup(used);
+  for (std::uint64_t c = 0; c < used; ++c) {
+    const std::uint64_t lo = c * step;
+    const std::uint64_t hi = std::min(n, lo + step);
+    pool->submit([lo, hi, c, &body] { body(lo, hi, c); });
+  }
+  pool->wait_idle();
+}
+
+/// Parallel reduction: applies `body(begin, end) -> T` over chunks and
+/// combines partial results with `combine`.  Deterministic iff `combine`
+/// is associative and commutative.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(std::uint64_t n, T init, Body&& body, Combine&& combine,
+                  std::uint64_t grain = 1 << 12, ThreadPool* pool = nullptr) {
+  if (n == 0) return init;
+  if (pool == nullptr) pool = &ThreadPool::global();
+  if (n <= grain || pool->size() <= 1) {
+    return combine(init, body(std::uint64_t{0}, n));
+  }
+  const std::uint64_t chunks =
+      std::min<std::uint64_t>(pool->size() * 4, (n + grain - 1) / grain);
+  const std::uint64_t step = (n + chunks - 1) / chunks;
+  std::vector<T> partials(chunks, init);
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t lo = c * step;
+    const std::uint64_t hi = std::min(n, lo + step);
+    if (lo >= hi) break;
+    pool->submit([lo, hi, c, &partials, &body] { partials[c] = body(lo, hi); });
+  }
+  pool->wait_idle();
+  T acc = init;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace scg

@@ -1,0 +1,55 @@
+// Minimal fixed-size thread pool used by the topology and sweep code.
+//
+// Design notes (why not std::async / OpenMP): the heavy kernels in this
+// library are level-synchronous BFS frontiers and exhaustive solver sweeps
+// over k! permutations.  Both want (a) a stable set of worker threads so that
+// per-thread scratch buffers survive across parallel regions, and (b) a
+// blocking "run these tasks and wait" primitive.  A ~100-line pool covers
+// that without adding a dependency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace scg {
+
+/// Fixed set of worker threads executing submitted tasks.  Thread-safe.
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task.  Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Process-wide default pool (created on first use).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signalled when a task is available
+  std::condition_variable cv_idle_;   // signalled when the pool drains
+  std::size_t in_flight_ = 0;         // queued + running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace scg

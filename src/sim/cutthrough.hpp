@@ -1,0 +1,48 @@
+// Flit-level virtual cut-through simulator.
+//
+// Section 4.2 of the paper argues that diameter and average distance stay
+// decisive under *wormhole/cut-through* switching once networks are
+// pin-limited: per-hop pipeline latency shrinks, but the constant-pinout
+// serialisation of multi-flit packets over narrow off-chip links still
+// multiplies with hop count under load.  This simulator lets us measure
+// that: packets of F flits advance through input-buffered routers; a link
+// forwards one flit every `cycles_per_flit` (1 on-chip, d_I off-chip under
+// a unit pin budget); a packet's head may leave a node as soon as it has
+// arrived there (cut-through) while its tail is still several hops behind.
+// Virtual cut-through (whole-packet buffering on blockage) keeps the model
+// deadlock-free with unbounded node buffers.
+//
+// Compared to sim/mcmp.hpp (store-and-forward, 1-flit packets) this adds:
+// multi-flit packets, pipelined hops, and per-link flit serialisation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/mcmp.hpp"
+#include "topology/graph.hpp"
+
+namespace scg {
+
+struct CutThroughConfig {
+  int flits_per_packet = 4;
+  int onchip_cycles_per_flit = 1;
+  int offchip_cycles_per_flit = 1;  ///< set to d_I under a unit pin budget
+};
+
+struct CutThroughResult {
+  std::uint64_t completion_cycles = 0;
+  double avg_latency = 0.0;   ///< head-injection to tail-arrival
+  std::uint64_t packets = 0;
+  std::uint64_t flit_hops = 0;
+  double max_link_busy = 0.0;
+};
+
+/// Runs the cut-through simulation over the same packet/path structures as
+/// the store-and-forward simulator.  `is_offchip(tag)` classifies links.
+CutThroughResult simulate_cut_through(
+    const Graph& g, const std::function<bool(std::int32_t)>& is_offchip,
+    std::vector<SimPacket> packets, const CutThroughConfig& cfg);
+
+}  // namespace scg

@@ -1,0 +1,71 @@
+#include "sim/mcmp.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace scg {
+
+SimResult simulate_mcmp(const Graph& g,
+                        const std::function<bool(std::int32_t)>& is_offchip,
+                        std::vector<SimPacket> packets, const SimConfig& cfg) {
+  struct Event {
+    std::uint64_t time;
+    std::uint32_t packet;
+    std::uint32_t hop;  // index into path: the node the packet sits at
+    bool operator>(const Event& o) const { return time > o.time; }
+  };
+
+  SimResult res;
+  res.packets = packets.size();
+  if (packets.size() > UINT32_MAX) throw std::invalid_argument("too many packets");
+
+  std::vector<std::uint64_t> link_free(g.num_links(), 0);
+  std::vector<std::uint64_t> link_busy(g.num_links(), 0);
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
+
+  for (std::uint32_t p = 0; p < packets.size(); ++p) {
+    const SimPacket& pk = packets[p];
+    if (pk.path.empty() || pk.path.front() != pk.src || pk.path.back() != pk.dst) {
+      throw std::invalid_argument("packet path must run src..dst");
+    }
+    pq.push(Event{pk.inject_time, p, 0});
+  }
+
+  std::uint64_t latency_sum = 0;
+  while (!pq.empty()) {
+    const Event ev = pq.top();
+    pq.pop();
+    const SimPacket& pk = packets[ev.packet];
+    if (ev.hop + 1 >= pk.path.size()) {  // arrived
+      res.completion_cycles = std::max(res.completion_cycles, ev.time);
+      latency_sum += ev.time - pk.inject_time;
+      continue;
+    }
+    const std::uint64_t u = pk.path[ev.hop];
+    const std::uint64_t v = pk.path[ev.hop + 1];
+    const std::uint64_t arc = g.find_arc(u, v);
+    if (arc == g.num_links()) {
+      throw std::invalid_argument("packet path uses a non-existent link");
+    }
+    const bool off = is_offchip(g.arc_tag(arc));
+    const std::uint64_t occ =
+        static_cast<std::uint64_t>(off ? cfg.offchip_cycles : cfg.onchip_cycles);
+    const std::uint64_t start = std::max(ev.time, link_free[arc]);
+    link_free[arc] = start + occ;
+    link_busy[arc] += occ;
+    ++res.total_hops;
+    if (off) ++res.offchip_hops;
+    pq.push(Event{start + occ, ev.packet, ev.hop + 1});
+  }
+
+  if (res.packets > 0) {
+    res.avg_latency = static_cast<double>(latency_sum) / static_cast<double>(res.packets);
+  }
+  for (const std::uint64_t b : link_busy) {
+    res.max_link_busy = std::max(res.max_link_busy, static_cast<double>(b));
+  }
+  return res;
+}
+
+}  // namespace scg

@@ -1,0 +1,52 @@
+// Multiple chip-multiprocessor (MCMP) packet simulator — the substitute for
+// the paper's packaging-hierarchy argument (Section 4.3, [36]).
+//
+// Model: each cluster (one nucleus) lives on one chip.  On-chip (nucleus)
+// links are wide: transferring a packet takes 1 cycle.  Off-chip
+// (inter-cluster) links share the node's constant pin budget w across the
+// intercluster degree d_I, so a packet occupies an off-chip link for
+// `offchip_cycles` = round(d_I / w) cycles.  Store-and-forward, FIFO links,
+// event-driven; deterministic given the packet list.
+//
+// This preserves exactly what the paper's claims depend on: the number of
+// intercluster transmissions per packet and the bandwidth-limited completion
+// time of communication-intensive workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace scg {
+
+struct SimPacket {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::vector<std::uint32_t> path;  ///< node sequence src..dst (inclusive)
+  std::uint64_t inject_time = 0;
+};
+
+struct SimConfig {
+  int onchip_cycles = 1;    ///< link occupancy of an on-chip hop
+  int offchip_cycles = 1;   ///< link occupancy of an off-chip hop (≈ d_I / w)
+};
+
+struct SimResult {
+  std::uint64_t completion_cycles = 0;  ///< time the last packet arrives
+  double avg_latency = 0.0;             ///< mean (arrival - inject) per packet
+  std::uint64_t packets = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t offchip_hops = 0;       ///< intercluster transmissions
+  double max_link_busy = 0.0;           ///< busiest link's busy cycles
+};
+
+/// Runs the simulation.  `is_offchip(tag)` classifies each link by its edge
+/// tag (for Cayley graphs the tag is the generator index).  Packets whose
+/// path hops do not correspond to arcs of `g` raise std::invalid_argument.
+SimResult simulate_mcmp(const Graph& g,
+                        const std::function<bool(std::int32_t)>& is_offchip,
+                        std::vector<SimPacket> packets, const SimConfig& cfg);
+
+}  // namespace scg

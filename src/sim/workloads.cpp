@@ -1,0 +1,135 @@
+#include "sim/workloads.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "networks/router.hpp"
+#include "topology/bfs.hpp"
+
+namespace scg {
+namespace {
+
+std::vector<std::uint32_t> cayley_path(const NetworkSpec& net,
+                                       const Permutation& from,
+                                       const Permutation& to) {
+  const GameTrace trace = route_trace(net, from, to);
+  std::vector<std::uint32_t> nodes;
+  nodes.reserve(trace.states.size());
+  for (const Permutation& s : trace.states) {
+    nodes.push_back(static_cast<std::uint32_t>(s.rank()));
+  }
+  return nodes;
+}
+
+}  // namespace
+
+GraphRoutes::GraphRoutes(const Graph& g)
+    : g_(&g), dist_to_(g.num_nodes()), have_(g.num_nodes(), false) {}
+
+std::vector<std::uint32_t> GraphRoutes::path(std::uint64_t src, std::uint64_t dst) {
+  if (!have_[dst]) {
+    // For undirected graphs BFS from dst gives distances towards dst; the
+    // simulator only uses undirected explicit graphs.
+    if (g_->directed()) throw std::invalid_argument("GraphRoutes: undirected only");
+    dist_to_[dst] = bfs_distances(*g_, dst);
+    have_[dst] = true;
+  }
+  const std::vector<std::uint16_t>& dist = dist_to_[dst];
+  if (dist[src] == kUnreached) throw std::invalid_argument("GraphRoutes: unreachable");
+  std::vector<std::uint32_t> nodes{static_cast<std::uint32_t>(src)};
+  std::uint64_t cur = src;
+  while (cur != dst) {
+    std::uint64_t next = cur;
+    g_->for_each_neighbor(cur, [&](std::uint64_t v, std::int32_t) {
+      if (dist[v] + 1 == dist[cur] && (next == cur || v < next)) next = v;
+    });
+    if (next == cur) throw std::logic_error("GraphRoutes: no descent step");
+    nodes.push_back(static_cast<std::uint32_t>(next));
+    cur = next;
+  }
+  return nodes;
+}
+
+std::vector<SimPacket> total_exchange_packets(const NetworkSpec& net) {
+  const std::uint64_t n = net.num_nodes();
+  std::vector<Permutation> perms;
+  perms.reserve(n);
+  for (std::uint64_t r = 0; r < n; ++r) perms.push_back(Permutation::unrank(net.k(), r));
+  std::vector<SimPacket> packets;
+  packets.reserve(n * (n - 1));
+  for (std::uint64_t s = 0; s < n; ++s) {
+    for (std::uint64_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      SimPacket p;
+      p.src = s;
+      p.dst = d;
+      p.path = cayley_path(net, perms[s], perms[d]);
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+std::vector<SimPacket> total_exchange_packets(const Graph& g) {
+  GraphRoutes routes(g);
+  const std::uint64_t n = g.num_nodes();
+  std::vector<SimPacket> packets;
+  packets.reserve(n * (n - 1));
+  for (std::uint64_t s = 0; s < n; ++s) {
+    for (std::uint64_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      SimPacket p;
+      p.src = s;
+      p.dst = d;
+      p.path = routes.path(s, d);
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+std::vector<SimPacket> random_traffic_packets(const NetworkSpec& net,
+                                              int per_node, std::uint64_t seed) {
+  const std::uint64_t n = net.num_nodes();
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> pick(0, n - 1);
+  std::vector<SimPacket> packets;
+  packets.reserve(n * static_cast<std::uint64_t>(per_node));
+  for (std::uint64_t s = 0; s < n; ++s) {
+    const Permutation from = Permutation::unrank(net.k(), s);
+    for (int i = 0; i < per_node; ++i) {
+      std::uint64_t d = pick(rng);
+      if (d == s) d = (d + 1) % n;
+      SimPacket p;
+      p.src = s;
+      p.dst = d;
+      p.path = cayley_path(net, from, Permutation::unrank(net.k(), d));
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+std::vector<SimPacket> random_traffic_packets(const Graph& g, int per_node,
+                                              std::uint64_t seed) {
+  GraphRoutes routes(g);
+  const std::uint64_t n = g.num_nodes();
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> pick(0, n - 1);
+  std::vector<SimPacket> packets;
+  packets.reserve(n * static_cast<std::uint64_t>(per_node));
+  for (std::uint64_t s = 0; s < n; ++s) {
+    for (int i = 0; i < per_node; ++i) {
+      std::uint64_t d = pick(rng);
+      if (d == s) d = (d + 1) % n;
+      SimPacket p;
+      p.src = s;
+      p.dst = d;
+      p.path = routes.path(s, d);
+      packets.push_back(std::move(p));
+    }
+  }
+  return packets;
+}
+
+}  // namespace scg

@@ -1,0 +1,53 @@
+// Workload generation for the MCMP simulator: total exchange (TE),
+// multinode broadcast (MNB, emulated with unicasts — see DESIGN.md), and
+// uniform random traffic, over either a Cayley network (paths from the
+// game-solver router) or an explicit graph (paths from per-destination BFS).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "networks/super_cayley.hpp"
+#include "sim/mcmp.hpp"
+#include "topology/graph.hpp"
+
+namespace scg {
+
+/// A routing oracle for explicit graphs: shortest paths via one BFS per
+/// destination, cached.  Deterministic tie-breaking (lowest neighbor id).
+class GraphRoutes {
+ public:
+  explicit GraphRoutes(const Graph& g);
+
+  /// Node sequence src..dst along a shortest path.
+  std::vector<std::uint32_t> path(std::uint64_t src, std::uint64_t dst);
+
+ private:
+  const Graph* g_;
+  // dist_to_[dst] lazily holds BFS distances *towards* dst.
+  std::vector<std::vector<std::uint16_t>> dist_to_;
+  std::vector<bool> have_;
+};
+
+/// Total exchange on a Cayley network: one packet per ordered node pair,
+/// routed by the network's game solver.
+std::vector<SimPacket> total_exchange_packets(const NetworkSpec& net);
+
+/// Total exchange on an explicit graph (shortest-path routed).
+std::vector<SimPacket> total_exchange_packets(const Graph& g);
+
+/// Multinode broadcast, emulated as unicasts: each node sends one packet to
+/// every other node (same traffic matrix as TE; no multicast combining —
+/// the substitution is documented in DESIGN.md).
+inline std::vector<SimPacket> multinode_broadcast_packets(const NetworkSpec& net) {
+  return total_exchange_packets(net);
+}
+
+/// Uniform random traffic: `per_node` packets per source to uniformly
+/// random destinations (excluding self).
+std::vector<SimPacket> random_traffic_packets(const NetworkSpec& net,
+                                              int per_node, std::uint64_t seed);
+std::vector<SimPacket> random_traffic_packets(const Graph& g, int per_node,
+                                              std::uint64_t seed);
+
+}  // namespace scg

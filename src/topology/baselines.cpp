@@ -1,0 +1,195 @@
+#include "topology/baselines.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+namespace scg {
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+Graph make_hypercube(int dims) {
+  require(dims >= 1 && dims < 32, "hypercube: 1 <= dims < 32");
+  const std::uint64_t n = std::uint64_t{1} << dims;
+  std::vector<Graph::Edge> edges;
+  edges.reserve(n * static_cast<std::uint64_t>(dims) / 2);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (int b = 0; b < dims; ++b) {
+      const std::uint64_t v = u ^ (std::uint64_t{1} << b);
+      if (u < v) edges.push_back({u, v, b});
+    }
+  }
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_torus_2d(int rows, int cols) {
+  require(rows >= 2 && cols >= 2, "torus2d: sides >= 2");
+  const std::uint64_t n = static_cast<std::uint64_t>(rows) * cols;
+  auto id = [cols](int r, int c) {
+    return static_cast<std::uint64_t>(r) * cols + c;
+  };
+  std::vector<Graph::Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const std::uint64_t u = id(r, c);
+      const std::uint64_t right = id(r, (c + 1) % cols);
+      const std::uint64_t down = id((r + 1) % rows, c);
+      // For side 2 the +1 and -1 wrap links coincide; list each edge once.
+      if (u != right && (cols > 2 || c + 1 < cols)) edges.push_back({u, right, 0});
+      if (u != down && (rows > 2 || r + 1 < rows)) edges.push_back({u, down, 1});
+    }
+  }
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_torus_3d(int x, int y, int z) {
+  require(x >= 2 && y >= 2 && z >= 2, "torus3d: sides >= 2");
+  const std::uint64_t n = static_cast<std::uint64_t>(x) * y * z;
+  auto id = [y, z](int a, int b, int c) {
+    return (static_cast<std::uint64_t>(a) * y + b) * z + c;
+  };
+  std::vector<Graph::Edge> edges;
+  for (int a = 0; a < x; ++a) {
+    for (int b = 0; b < y; ++b) {
+      for (int c = 0; c < z; ++c) {
+        const std::uint64_t u = id(a, b, c);
+        if (x > 2 || a + 1 < x) edges.push_back({u, id((a + 1) % x, b, c), 0});
+        if (y > 2 || b + 1 < y) edges.push_back({u, id(a, (b + 1) % y, c), 1});
+        if (z > 2 || c + 1 < z) edges.push_back({u, id(a, b, (c + 1) % z), 2});
+      }
+    }
+  }
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_mesh_2d(int rows, int cols) {
+  require(rows >= 1 && cols >= 1, "mesh2d: sides >= 1");
+  const std::uint64_t n = static_cast<std::uint64_t>(rows) * cols;
+  auto id = [cols](int r, int c) {
+    return static_cast<std::uint64_t>(r) * cols + c;
+  };
+  std::vector<Graph::Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), 0});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), 1});
+    }
+  }
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_kary_ncube(int a, int m) {
+  require(a >= 2 && m >= 1, "kary_ncube: a >= 2, m >= 1");
+  std::uint64_t n = 1;
+  for (int i = 0; i < m; ++i) n *= static_cast<std::uint64_t>(a);
+  std::vector<Graph::Edge> edges;
+  std::vector<int> digits(static_cast<std::size_t>(m), 0);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    // digits currently encode u (little-endian base a)
+    std::uint64_t stride = 1;
+    for (int d = 0; d < m; ++d) {
+      const int cur = digits[static_cast<std::size_t>(d)];
+      const int nxt = (cur + 1) % a;
+      const std::uint64_t v = u - static_cast<std::uint64_t>(cur) * stride +
+                              static_cast<std::uint64_t>(nxt) * stride;
+      if (a > 2 || cur == 0) edges.push_back({u, v, d});
+      stride *= static_cast<std::uint64_t>(a);
+    }
+    // increment digit counter
+    for (int d = 0; d < m; ++d) {
+      if (++digits[static_cast<std::size_t>(d)] < a) break;
+      digits[static_cast<std::size_t>(d)] = 0;
+    }
+  }
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_ccc(int dims) {
+  require(dims >= 2 && dims < 28, "ccc: 2 <= dims < 28");
+  const std::uint64_t corners = std::uint64_t{1} << dims;
+  const std::uint64_t n = corners * static_cast<std::uint64_t>(dims);
+  auto id = [dims](std::uint64_t corner, int pos) {
+    return corner * static_cast<std::uint64_t>(dims) + static_cast<std::uint64_t>(pos);
+  };
+  std::vector<Graph::Edge> edges;
+  for (std::uint64_t c = 0; c < corners; ++c) {
+    for (int p = 0; p < dims; ++p) {
+      // cycle link
+      if (dims > 2 || p + 1 < dims) edges.push_back({id(c, p), id(c, (p + 1) % dims), 0});
+      // cube link along dimension p
+      const std::uint64_t c2 = c ^ (std::uint64_t{1} << p);
+      if (c < c2) edges.push_back({id(c, p), id(c2, p), 1});
+    }
+  }
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_pyramid(int levels) {
+  require(levels >= 1 && levels <= 12, "pyramid: 1 <= levels <= 12");
+  // Level i (0-based) is a 2^i x 2^i mesh; node ids are level offsets.
+  std::vector<std::uint64_t> base(static_cast<std::size_t>(levels) + 1, 0);
+  for (int i = 0; i < levels; ++i) {
+    const std::uint64_t side = std::uint64_t{1} << i;
+    base[static_cast<std::size_t>(i) + 1] = base[static_cast<std::size_t>(i)] + side * side;
+  }
+  const std::uint64_t n = base[static_cast<std::size_t>(levels)];
+  auto id = [&base](int level, std::uint64_t r, std::uint64_t c) {
+    const std::uint64_t side = std::uint64_t{1} << level;
+    return base[static_cast<std::size_t>(level)] + r * side + c;
+  };
+  std::vector<Graph::Edge> edges;
+  for (int i = 0; i < levels; ++i) {
+    const std::uint64_t side = std::uint64_t{1} << i;
+    for (std::uint64_t r = 0; r < side; ++r) {
+      for (std::uint64_t c = 0; c < side; ++c) {
+        if (c + 1 < side) edges.push_back({id(i, r, c), id(i, r, c + 1), 0});
+        if (r + 1 < side) edges.push_back({id(i, r, c), id(i, r + 1, c), 0});
+        if (i + 1 < levels) {
+          edges.push_back({id(i, r, c), id(i + 1, 2 * r, 2 * c), 1});
+          edges.push_back({id(i, r, c), id(i + 1, 2 * r, 2 * c + 1), 1});
+          edges.push_back({id(i, r, c), id(i + 1, 2 * r + 1, 2 * c), 1});
+          edges.push_back({id(i, r, c), id(i + 1, 2 * r + 1, 2 * c + 1), 1});
+        }
+      }
+    }
+  }
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_ring(std::uint64_t n) {
+  require(n >= 3, "ring: n >= 3");
+  std::vector<Graph::Edge> edges;
+  for (std::uint64_t u = 0; u < n; ++u) edges.push_back({u, (u + 1) % n, 0});
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_path(std::uint64_t n) {
+  require(n >= 1, "path: n >= 1");
+  std::vector<Graph::Edge> edges;
+  for (std::uint64_t u = 0; u + 1 < n; ++u) edges.push_back({u, u + 1, 0});
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+Graph make_complete(std::uint64_t n) {
+  require(n >= 1, "complete: n >= 1");
+  std::vector<Graph::Edge> edges;
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for (std::uint64_t v = u + 1; v < n; ++v) edges.push_back({u, v, 0});
+  }
+  return Graph::build(n, /*directed=*/false, edges);
+}
+
+int hypercube_diameter(int dims) { return dims; }
+
+int torus_2d_diameter(int rows, int cols) { return rows / 2 + cols / 2; }
+
+int torus_3d_diameter(int x, int y, int z) { return x / 2 + y / 2 + z / 2; }
+
+int kary_ncube_diameter(int a, int m) { return m * (a / 2); }
+
+}  // namespace scg

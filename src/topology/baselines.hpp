@@ -1,0 +1,54 @@
+// Classic interconnection networks built from scratch, used as the
+// comparison set of the paper's Figures 4–6 (hypercube, 2-D/3-D torus,
+// k-ary n-cube, star) and of Section 4.3 (CCC), plus a few extras used by
+// tests (ring, path, mesh, pyramid, complete graph).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/graph.hpp"
+
+namespace scg {
+
+/// d-dimensional binary hypercube: N = 2^d, degree d, diameter d.
+Graph make_hypercube(int dims);
+
+/// rows x cols 2-D torus (wraparound mesh); degree 4 (2 if a side is 2... the
+/// duplicate wrap link is deduplicated, matching the usual definition).
+Graph make_torus_2d(int rows, int cols);
+
+/// x*y*z 3-D torus; degree 6.
+Graph make_torus_3d(int x, int y, int z);
+
+/// rows x cols 2-D mesh (no wraparound).
+Graph make_mesh_2d(int rows, int cols);
+
+/// a-ary m-cube: N = a^m nodes, +-1 (mod a) links in every dimension.
+/// a == 2 degenerates to the hypercube.
+Graph make_kary_ncube(int a, int m);
+
+/// Cube-connected cycles CCC(d): N = d * 2^d, degree 3.
+Graph make_ccc(int dims);
+
+/// Pyramid with `levels` levels of 2^i x 2^i meshes (level 0 is the apex):
+/// mesh links within a level + 4 children per node one level down.
+Graph make_pyramid(int levels);
+
+/// N-node ring.
+Graph make_ring(std::uint64_t n);
+
+/// N-node path.
+Graph make_path(std::uint64_t n);
+
+/// N-node complete graph.
+Graph make_complete(std::uint64_t n);
+
+// Closed-form properties used by the figure benches (cross-checked against
+// BFS measurements in tests).
+int hypercube_diameter(int dims);       // dims
+int torus_2d_diameter(int rows, int cols);
+int torus_3d_diameter(int x, int y, int z);
+int kary_ncube_diameter(int a, int m);  // m * floor(a/2)
+
+}  // namespace scg

@@ -1,0 +1,119 @@
+// Breadth-first traversals over any graph exposing
+//   std::uint64_t num_nodes() const;
+//   template <typename Fn> void for_each_neighbor(std::uint64_t u, Fn fn) const;
+// with fn(v, tag).  Works for CSR graphs and for implicit Cayley graphs
+// (neighbors generated on the fly from the generator set).
+//
+// Distances use std::uint16_t with kUnreached as the sentinel; every network
+// in this library has diameter far below 65535.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace scg {
+
+inline constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
+
+/// Serial BFS; returns the distance array from `src`.
+template <typename G>
+std::vector<std::uint16_t> bfs_distances(const G& g, std::uint64_t src) {
+  std::vector<std::uint16_t> dist(g.num_nodes(), kUnreached);
+  std::vector<std::uint64_t> frontier{src};
+  std::vector<std::uint64_t> next;
+  dist[src] = 0;
+  std::uint16_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (const std::uint64_t u : frontier) {
+      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+        if (dist[v] == kUnreached) {
+          dist[v] = level;
+          next.push_back(v);
+        }
+      });
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+/// Level-synchronous parallel BFS.  Deterministic result (identical to the
+/// serial BFS) because levels are barriers and distance writes are idempotent
+/// per level.
+template <typename G>
+std::vector<std::uint16_t> bfs_distances_parallel(const G& g, std::uint64_t src,
+                                                  ThreadPool* pool = nullptr) {
+  if (pool == nullptr) pool = &ThreadPool::global();
+  std::vector<std::uint16_t> dist(g.num_nodes(), kUnreached);
+  std::vector<std::uint64_t> frontier{src};
+  dist[src] = 0;
+  std::uint16_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    const std::uint64_t fsz = frontier.size();
+    std::vector<std::vector<std::uint64_t>> buffers;
+    parallel_for_chunks_indexed(
+        fsz, [&](std::uint64_t chunks) { buffers.resize(chunks); },
+        [&](std::uint64_t lo, std::uint64_t hi, std::uint64_t chunk) {
+          std::vector<std::uint64_t>& out = buffers[chunk];
+          for (std::uint64_t idx = lo; idx < hi; ++idx) {
+            g.for_each_neighbor(frontier[idx], [&](std::uint64_t v, std::int32_t) {
+              std::atomic_ref<std::uint16_t> d(dist[v]);
+              std::uint16_t expected = kUnreached;
+              if (d.load(std::memory_order_relaxed) == kUnreached &&
+                  d.compare_exchange_strong(expected, level,
+                                            std::memory_order_relaxed)) {
+                out.push_back(v);
+              }
+            });
+          }
+        },
+        /*grain=*/4096, pool);
+    std::vector<std::uint64_t> next;
+    std::uint64_t total = 0;
+    for (const auto& b : buffers) total += b.size();
+    next.reserve(total);
+    for (const auto& b : buffers) next.insert(next.end(), b.begin(), b.end());
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+/// 0-1 BFS: edge weight is `weight(tag)` (must return 0 or 1).  Used for
+/// intercluster distances where nucleus (on-chip) links are free and super
+/// (off-chip) links cost one transmission (paper Section 4.3).
+template <typename G, typename WeightFn>
+std::vector<std::uint16_t> zero_one_bfs(const G& g, std::uint64_t src,
+                                        WeightFn&& weight) {
+  std::vector<std::uint16_t> dist(g.num_nodes(), kUnreached);
+  std::deque<std::uint64_t> dq{src};
+  dist[src] = 0;
+  while (!dq.empty()) {
+    const std::uint64_t u = dq.front();
+    dq.pop_front();
+    const std::uint16_t du = dist[u];
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t tag) {
+      const std::uint16_t w = weight(tag) ? 1 : 0;
+      const std::uint32_t nd = du + w;
+      if (nd < dist[v]) {
+        dist[v] = static_cast<std::uint16_t>(nd);
+        if (w == 0) {
+          dq.push_front(v);
+        } else {
+          dq.push_back(v);
+        }
+      }
+    });
+  }
+  return dist;
+}
+
+}  // namespace scg

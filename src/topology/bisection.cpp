@@ -1,0 +1,143 @@
+#include "topology/bisection.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace scg {
+namespace {
+
+std::uint64_t cut_size(const Graph& g, const std::vector<std::uint8_t>& side) {
+  std::uint64_t arcs = 0;
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      if (side[v] != side[u]) ++arcs;
+    });
+  }
+  // Undirected graphs store both arcs; directed graphs count each arc.
+  return g.directed() ? arcs : arcs / 2;
+}
+
+/// D[u] = external - internal out-arcs of u under `side`.
+std::vector<std::int64_t> gains(const Graph& g,
+                                const std::vector<std::uint8_t>& side) {
+  std::vector<std::int64_t> d(g.num_nodes(), 0);
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      d[u] += (side[v] != side[u]) ? 1 : -1;
+    });
+  }
+  return d;
+}
+
+std::int64_t arcs_between(const Graph& g, std::uint64_t u, std::uint64_t v) {
+  std::int64_t w = 0;
+  g.for_each_neighbor(u, [&](std::uint64_t t, std::int32_t) {
+    if (t == v) ++w;
+  });
+  return w;
+}
+
+/// One Kernighan–Lin pass: tentatively swaps locked pairs, then commits the
+/// best prefix.  Returns the (non-negative) cut improvement.
+std::int64_t kl_pass(const Graph& g, std::vector<std::uint8_t>& side) {
+  const std::uint64_t n = g.num_nodes();
+  std::vector<std::int64_t> d = gains(g, side);
+  std::vector<std::uint8_t> locked(n, 0);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> swaps;
+  std::vector<std::int64_t> cumulative;
+  std::int64_t running = 0;
+
+  const std::uint64_t steps = n / 2;
+  for (std::uint64_t s = 0; s < steps; ++s) {
+    // Best unlocked node on each side (classic simplification: choose the
+    // two independently, then correct for their mutual arcs).
+    std::uint64_t a = UINT64_MAX;
+    std::uint64_t b = UINT64_MAX;
+    std::int64_t da = INT64_MIN;
+    std::int64_t db = INT64_MIN;
+    for (std::uint64_t u = 0; u < n; ++u) {
+      if (locked[u]) continue;
+      if (side[u] == 0) {
+        if (d[u] > da) {
+          da = d[u];
+          a = u;
+        }
+      } else if (d[u] > db) {
+        db = d[u];
+        b = u;
+      }
+    }
+    if (a == UINT64_MAX || b == UINT64_MAX) break;
+    const std::int64_t gain = da + db - 2 * arcs_between(g, a, b);
+    // Tentative swap.
+    side[a] = 1;
+    side[b] = 0;
+    locked[a] = locked[b] = 1;
+    running += gain;
+    swaps.emplace_back(a, b);
+    cumulative.push_back(running);
+    // Update gains of unlocked nodes adjacent to a or b.
+    for (const std::uint64_t moved : {a, b}) {
+      g.for_each_neighbor(moved, [&](std::uint64_t v, std::int32_t) {
+        if (locked[v]) return;
+        // v's relation to `moved` flipped sides: recompute lazily & exactly.
+        std::int64_t dv = 0;
+        g.for_each_neighbor(v, [&](std::uint64_t t, std::int32_t) {
+          dv += (side[t] != side[v]) ? 1 : -1;
+        });
+        d[v] = dv;
+      });
+    }
+  }
+
+  // Commit the best prefix.
+  std::int64_t best = 0;
+  std::size_t best_len = 0;
+  for (std::size_t i = 0; i < cumulative.size(); ++i) {
+    if (cumulative[i] > best) {
+      best = cumulative[i];
+      best_len = i + 1;
+    }
+  }
+  // Undo everything past the best prefix.
+  for (std::size_t i = cumulative.size(); i > best_len; --i) {
+    const auto [a, b] = swaps[i - 1];
+    side[a] = 0;
+    side[b] = 1;
+  }
+  return best;
+}
+
+}  // namespace
+
+BisectionResult bisect_kl(const Graph& g, int restarts, std::uint64_t seed) {
+  const std::uint64_t n = g.num_nodes();
+  BisectionResult best;
+  best.cut_links = UINT64_MAX;
+
+  std::vector<std::uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int r = 0; r < restarts; ++r) {
+    std::mt19937_64 rng(seed + static_cast<std::uint64_t>(r) * 0x9e3779b97f4a7c15ULL);
+    std::shuffle(order.begin(), order.end(), rng);
+    std::vector<std::uint8_t> side(n, 0);
+    for (std::uint64_t i = n / 2; i < n; ++i) side[order[i]] = 1;
+
+    for (int pass = 0; pass < 20; ++pass) {
+      if (kl_pass(g, side) <= 0) break;
+    }
+
+    const std::uint64_t cut = cut_size(g, side);
+    if (cut < best.cut_links) {
+      best.cut_links = cut;
+      best.side = side;
+      best.side_a = static_cast<std::uint64_t>(
+          std::count(side.begin(), side.end(), std::uint8_t{0}));
+    }
+  }
+  return best;
+}
+
+}  // namespace scg

@@ -1,0 +1,29 @@
+// Empirical bisection estimation.
+//
+// Finding the exact bisection width is NP-hard; for the small instances we
+// can materialise we compute an *upper bound* with a Kernighan–Lin-style
+// local search (the true bisection width is <= the best cut found).  The
+// paper's Theorem 4.9 gives a *lower bound* on bisection bandwidth from the
+// average intercluster distance; the bench compares both sides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace scg {
+
+struct BisectionResult {
+  std::uint64_t cut_links = 0;     ///< undirected links crossing the best cut
+  std::uint64_t side_a = 0;        ///< size of one side (|A| ~ N/2)
+  std::vector<std::uint8_t> side;  ///< side[u] in {0,1}
+};
+
+/// Kernighan–Lin bisection heuristic with `restarts` random restarts.
+/// Deterministic for a fixed seed.  Directed graphs are treated as their
+/// underlying undirected multigraphs (each arc counts toward the cut).
+BisectionResult bisect_kl(const Graph& g, int restarts = 4,
+                          std::uint64_t seed = 12345);
+
+}  // namespace scg

@@ -1,0 +1,238 @@
+#include "topology/fault.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <set>
+
+#include "topology/bfs.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+std::set<std::pair<std::uint64_t, std::uint64_t>> arc_set(
+    const Graph& g,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs) {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> dead(failed_arcs.begin(),
+                                                         failed_arcs.end());
+  if (!g.directed()) {
+    for (const auto& [a, b] : failed_arcs) dead.emplace(b, a);
+  }
+  return dead;
+}
+
+}  // namespace
+
+Graph with_faults(const Graph& g, const std::vector<std::uint64_t>& failed_nodes,
+                  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs) {
+  std::vector<std::uint8_t> node_dead(g.num_nodes(), 0);
+  for (const std::uint64_t u : failed_nodes) node_dead[u] = 1;
+  const auto dead = arc_set(g, failed_arcs);
+  std::vector<Graph::Edge> edges;
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    if (node_dead[u]) continue;
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t tag) {
+      if (node_dead[v]) return;
+      if (dead.count({u, v})) return;
+      // Keep each undirected edge once (the CSR stores both directions).
+      if (!g.directed() && v < u) return;
+      edges.push_back(Graph::Edge{u, v, tag});
+    });
+  }
+  return Graph::build(g.num_nodes(), g.directed(), edges);
+}
+
+bool connected_after_faults(
+    const Graph& g, const std::vector<std::uint64_t>& failed_nodes,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs) {
+  const Graph h = with_faults(g, failed_nodes, failed_arcs);
+  std::vector<std::uint8_t> node_dead(g.num_nodes(), 0);
+  for (const std::uint64_t u : failed_nodes) node_dead[u] = 1;
+  std::uint64_t src = g.num_nodes();
+  std::uint64_t alive = 0;
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    if (!node_dead[u]) {
+      ++alive;
+      if (src == g.num_nodes()) src = u;
+    }
+  }
+  if (alive <= 1) return true;
+  const auto check = [&](const Graph& graph) {
+    const auto dist = bfs_distances(graph, src);
+    for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+      if (!node_dead[u] && dist[u] == kUnreached) return false;
+    }
+    return true;
+  };
+  if (!check(h)) return false;
+  if (h.directed() && !check(h.reversed())) return false;
+  return true;
+}
+
+std::uint64_t edge_connectivity_pair(const Graph& g, std::uint64_t s,
+                                     std::uint64_t t) {
+  // Unit-capacity max-flow with BFS augmenting paths over a residual
+  // adjacency-list copy of the graph (each arc capacity 1).
+  const std::uint64_t n = g.num_nodes();
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t rev;  // index of reverse arc in adj[to]
+    std::uint8_t cap;
+  };
+  std::vector<std::vector<Arc>> adj(n);
+  for (std::uint64_t u = 0; u < n; ++u) {
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      // Forward arc capacity 1; residual (reverse) capacity 0.  For
+      // undirected graphs the opposite direction appears as its own
+      // forward arc, so this builds the standard undirected flow network.
+      adj[u].push_back(Arc{static_cast<std::uint32_t>(v),
+                           static_cast<std::uint32_t>(adj[v].size()), 1});
+      adj[v].push_back(Arc{static_cast<std::uint32_t>(u),
+                           static_cast<std::uint32_t>(adj[u].size() - 1), 0});
+    });
+  }
+  std::uint64_t flow = 0;
+  for (;;) {
+    // BFS for an augmenting path.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parent(
+        n, {UINT32_MAX, UINT32_MAX});  // (node, arc index)
+    std::queue<std::uint64_t> q;
+    q.push(s);
+    parent[s] = {static_cast<std::uint32_t>(s), UINT32_MAX};
+    while (!q.empty() && parent[t].first == UINT32_MAX) {
+      const std::uint64_t u = q.front();
+      q.pop();
+      for (std::uint32_t i = 0; i < adj[u].size(); ++i) {
+        const Arc& a = adj[u][i];
+        if (a.cap == 0 || parent[a.to].first != UINT32_MAX) continue;
+        parent[a.to] = {static_cast<std::uint32_t>(u), i};
+        q.push(a.to);
+      }
+    }
+    if (parent[t].first == UINT32_MAX) break;
+    // Augment by 1 along the path.
+    std::uint64_t v = t;
+    while (v != s) {
+      const auto [u, ai] = parent[v];
+      Arc& a = adj[u][ai];
+      a.cap = 0;
+      adj[v][a.rev].cap = 1;
+      v = u;
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+std::uint64_t edge_connectivity(const Graph& g) {
+  std::uint64_t best = UINT64_MAX;
+  for (std::uint64_t t = 1; t < g.num_nodes(); ++t) {
+    best = std::min(best, edge_connectivity_pair(g, 0, t));
+    if (best == 0) break;
+  }
+  return best == UINT64_MAX ? 0 : best;
+}
+
+std::uint64_t vertex_connectivity_pair(const Graph& g, std::uint64_t s,
+                                       std::uint64_t t) {
+  // Node splitting: each node u becomes u_in (= 2u) -> u_out (= 2u+1) with
+  // capacity 1 (infinite for s and t); each arc u->v becomes u_out -> v_in
+  // with capacity 1.  Max-flow s_out -> t_in counts internally
+  // node-disjoint paths.
+  const std::uint64_t n = g.num_nodes();
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t rev;
+    std::uint8_t cap;
+  };
+  std::vector<std::vector<Arc>> adj(2 * n);
+  auto add_arc = [&](std::uint64_t a, std::uint64_t b, std::uint8_t cap) {
+    adj[a].push_back(Arc{static_cast<std::uint32_t>(b),
+                         static_cast<std::uint32_t>(adj[b].size()), cap});
+    adj[b].push_back(Arc{static_cast<std::uint32_t>(a),
+                         static_cast<std::uint32_t>(adj[a].size() - 1), 0});
+  };
+  for (std::uint64_t u = 0; u < n; ++u) {
+    add_arc(2 * u, 2 * u + 1, (u == s || u == t) ? 255 : 1);
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      add_arc(2 * u + 1, 2 * v, 1);
+    });
+  }
+  const std::uint64_t src = 2 * s + 1;
+  const std::uint64_t dst = 2 * t;
+  std::uint64_t flow = 0;
+  for (;;) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parent(
+        2 * n, {UINT32_MAX, UINT32_MAX});
+    std::queue<std::uint64_t> q;
+    q.push(src);
+    parent[src] = {static_cast<std::uint32_t>(src), UINT32_MAX};
+    while (!q.empty() && parent[dst].first == UINT32_MAX) {
+      const std::uint64_t u = q.front();
+      q.pop();
+      for (std::uint32_t i = 0; i < adj[u].size(); ++i) {
+        const Arc& a = adj[u][i];
+        if (a.cap == 0 || parent[a.to].first != UINT32_MAX) continue;
+        parent[a.to] = {static_cast<std::uint32_t>(u), i};
+        q.push(a.to);
+      }
+    }
+    if (parent[dst].first == UINT32_MAX) break;
+    std::uint64_t v = dst;
+    while (v != src) {
+      const auto [u, ai] = parent[v];
+      Arc& a = adj[u][ai];
+      --a.cap;
+      ++adj[v][a.rev].cap;
+      v = u;
+    }
+    ++flow;
+  }
+  return flow;
+}
+
+std::uint64_t vertex_connectivity(const Graph& g) {
+  const std::uint64_t n = g.num_nodes();
+  std::uint64_t best = n - 1;  // complete-graph fallback
+  for (std::uint64_t s = 0; s < n; ++s) {
+    for (std::uint64_t t = s + 1; t < n; ++t) {
+      if (g.find_arc(s, t) != g.num_links()) continue;  // adjacent: skip
+      best = std::min(best, vertex_connectivity_pair(g, s, t));
+      if (best == 0) return 0;
+    }
+  }
+  return best;
+}
+
+double random_fault_survival_rate(const Graph& g, int node_failures,
+                                  int link_failures, int trials,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> pick_node(0, g.num_nodes() - 1);
+  int survived = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint64_t> nodes;
+    for (int i = 0; i < node_failures; ++i) nodes.push_back(pick_node(rng));
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> arcs;
+    for (int i = 0; i < link_failures; ++i) {
+      // Pick a random node, then a random incident arc.
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::uint64_t u = pick_node(rng);
+        const std::uint64_t deg = g.out_degree(u);
+        if (deg == 0) continue;
+        std::uniform_int_distribution<std::uint64_t> pick_arc(0, deg - 1);
+        const std::uint64_t slot = pick_arc(rng);
+        std::uint64_t idx = 0;
+        g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+          if (idx++ == slot) arcs.emplace_back(u, v);
+        });
+        break;
+      }
+    }
+    if (connected_after_faults(g, nodes, arcs)) ++survived;
+  }
+  return trials > 0 ? static_cast<double>(survived) / trials : 1.0;
+}
+
+}  // namespace scg

@@ -1,0 +1,58 @@
+// Fault tolerance analysis — the introduction lists fault tolerance among
+// the star graph's desirable properties that super Cayley graphs inherit.
+//
+// Facts verified empirically here:
+//  * a connected vertex-symmetric (Cayley) graph has edge connectivity equal
+//    to its degree (Mader/Watkins), so up to degree-1 link failures never
+//    disconnect a super Cayley graph;
+//  * random node/link failures far below that threshold leave the network
+//    connected with high probability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/graph.hpp"
+
+namespace scg {
+
+/// Copy of `g` with the given nodes removed (their links dropped) and the
+/// given arcs removed.  `failed_arcs` lists (from,to) pairs; for undirected
+/// graphs both directions are dropped.
+Graph with_faults(const Graph& g, const std::vector<std::uint64_t>& failed_nodes,
+                  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs);
+
+/// True if every surviving node can reach every other (ignoring removed
+/// nodes).  For directed graphs checks strong connectivity.
+bool connected_after_faults(const Graph& g,
+                            const std::vector<std::uint64_t>& failed_nodes,
+                            const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs);
+
+/// Exact edge connectivity between two nodes: max number of edge-disjoint
+/// paths (unit-capacity max-flow, BFS augmenting).  Small graphs only.
+std::uint64_t edge_connectivity_pair(const Graph& g, std::uint64_t s,
+                                     std::uint64_t t);
+
+/// Exact global edge connectivity: min over t != 0 of
+/// edge_connectivity_pair(g, 0, t).  (Valid because some global min cut
+/// separates node 0 from somebody.)  O(N * maxflow); small graphs only.
+std::uint64_t edge_connectivity(const Graph& g);
+
+/// Max number of internally node-disjoint s-t paths (node-splitting
+/// max-flow).  For non-adjacent s,t this is the s-t vertex connectivity.
+std::uint64_t vertex_connectivity_pair(const Graph& g, std::uint64_t s,
+                                       std::uint64_t t);
+
+/// Exact global vertex connectivity: the minimum of
+/// vertex_connectivity_pair over every non-adjacent pair (n-1 for complete
+/// graphs).  O(N^2) max-flows — small graphs only (N <= ~200).
+std::uint64_t vertex_connectivity(const Graph& g);
+
+/// Monte-Carlo fault experiment: fail `link_failures` random links (and
+/// `node_failures` random nodes) `trials` times; returns the fraction of
+/// trials where the survivors stay connected.
+double random_fault_survival_rate(const Graph& g, int node_failures,
+                                  int link_failures, int trials,
+                                  std::uint64_t seed = 1234);
+
+}  // namespace scg

@@ -1,0 +1,68 @@
+#include "topology/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace scg {
+
+Graph Graph::build(std::uint64_t num_nodes, bool directed,
+                   const std::vector<Edge>& edges) {
+  if (num_nodes > UINT32_MAX) {
+    throw std::invalid_argument("Graph: too many nodes for 32-bit targets");
+  }
+  Graph g;
+  g.directed_ = directed;
+  g.offsets_.assign(num_nodes + 1, 0);
+  const std::uint64_t arcs = directed ? edges.size() : 2 * edges.size();
+  g.targets_.resize(arcs);
+  g.tags_.resize(arcs);
+
+  for (const Edge& e : edges) {
+    assert(e.from < num_nodes && e.to < num_nodes);
+    ++g.offsets_[e.from + 1];
+    if (!directed) ++g.offsets_[e.to + 1];
+  }
+  for (std::uint64_t i = 1; i <= num_nodes; ++i) g.offsets_[i] += g.offsets_[i - 1];
+
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    std::uint64_t slot = cursor[e.from]++;
+    g.targets_[slot] = static_cast<std::uint32_t>(e.to);
+    g.tags_[slot] = e.tag;
+    if (!directed) {
+      slot = cursor[e.to]++;
+      g.targets_[slot] = static_cast<std::uint32_t>(e.from);
+      g.tags_[slot] = e.tag;
+    }
+  }
+  return g;
+}
+
+std::uint64_t Graph::max_degree() const {
+  std::uint64_t d = 0;
+  for (std::uint64_t u = 0; u < num_nodes(); ++u) d = std::max(d, out_degree(u));
+  return d;
+}
+
+bool Graph::regular() const {
+  if (num_nodes() == 0) return true;
+  const std::uint64_t d = out_degree(0);
+  for (std::uint64_t u = 1; u < num_nodes(); ++u) {
+    if (out_degree(u) != d) return false;
+  }
+  return true;
+}
+
+Graph Graph::reversed() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_links());
+  for (std::uint64_t u = 0; u < num_nodes(); ++u) {
+    for_each_neighbor(u, [&](std::uint64_t v, std::int32_t tag) {
+      edges.push_back(Edge{v, u, tag});
+    });
+  }
+  return build(num_nodes(), /*directed=*/true, edges);
+}
+
+}  // namespace scg

@@ -1,0 +1,78 @@
+// Compact CSR graph container used for baseline networks and for
+// materialised (small) Cayley graphs.  Nodes are 0..num_nodes()-1; each edge
+// carries an int tag (for Cayley graphs: the generator index) so weighted
+// traversals can classify links (nucleus vs inter-cluster).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scg {
+
+class Graph {
+ public:
+  struct Edge {
+    std::uint64_t from;
+    std::uint64_t to;
+    std::int32_t tag = 0;
+  };
+
+  /// Builds a CSR graph.  If `directed` is false, each listed edge is
+  /// inserted in both directions (with the same tag).
+  static Graph build(std::uint64_t num_nodes, bool directed,
+                     const std::vector<Edge>& edges);
+
+  std::uint64_t num_nodes() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+  std::uint64_t num_links() const { return targets_.size(); }  ///< directed arc count
+  bool directed() const { return directed_; }
+
+  std::uint64_t out_degree(std::uint64_t u) const {
+    return offsets_[u + 1] - offsets_[u];
+  }
+
+  /// Maximum out-degree over all nodes.
+  std::uint64_t max_degree() const;
+
+  /// True if every node has the same out-degree.
+  bool regular() const;
+
+  /// fn(v, tag) for each out-neighbor of u.
+  template <typename Fn>
+  void for_each_neighbor(std::uint64_t u, Fn&& fn) const {
+    for (std::uint64_t e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      fn(targets_[e], tags_[e]);
+    }
+  }
+
+  /// fn(arc_id, v, tag) for each out-arc of u; arc ids are stable and dense
+  /// in [0, num_links()).
+  template <typename Fn>
+  void for_each_arc(std::uint64_t u, Fn&& fn) const {
+    for (std::uint64_t e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      fn(e, targets_[e], tags_[e]);
+    }
+  }
+
+  /// Arc id of the first u->v arc, or num_links() if absent.
+  std::uint64_t find_arc(std::uint64_t u, std::uint64_t v) const {
+    for (std::uint64_t e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      if (targets_[e] == v) return e;
+    }
+    return num_links();
+  }
+
+  std::int32_t arc_tag(std::uint64_t arc) const { return tags_[arc]; }
+
+  /// The graph with every arc reversed (tags preserved).
+  Graph reversed() const;
+
+ private:
+  bool directed_ = false;
+  std::vector<std::uint64_t> offsets_;  // size num_nodes+1
+  std::vector<std::uint32_t> targets_;
+  std::vector<std::int32_t> tags_;
+};
+
+}  // namespace scg

@@ -1,0 +1,56 @@
+#include "topology/io.hpp"
+
+#include <ostream>
+
+namespace scg {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t tag) {
+      if (!g.directed() && v < u) return;
+      os << u << " " << v << " " << tag << "\n";
+    });
+  }
+}
+
+void write_dot(std::ostream& os, const Graph& g, const std::string& name) {
+  const bool dir = g.directed();
+  os << (dir ? "digraph " : "graph ") << name << " {\n";
+  const char* arrow = dir ? " -> " : " -- ";
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      if (!dir && v < u) return;
+      os << "  " << u << arrow << v << ";\n";
+    });
+  }
+  os << "}\n";
+}
+
+void write_cayley_dot(std::ostream& os, const NetworkSpec& net) {
+  const bool dir = net.directed;
+  os << (dir ? "digraph " : "graph ") << "\"" << net.name << "\" {\n";
+  const char* arrow = dir ? " -> " : " -- ";
+  const std::uint64_t n = net.num_nodes();
+  for (std::uint64_t r = 0; r < n; ++r) {
+    os << "  " << r << " [label=\""
+       << Permutation::unrank(net.k(), r).to_string() << "\"];\n";
+  }
+  for (std::uint64_t r = 0; r < n; ++r) {
+    const Permutation u = Permutation::unrank(net.k(), r);
+    for (const Generator& g : net.generators) {
+      const std::uint64_t v = g.applied(u).rank();
+      if (!dir && v < r) continue;  // the inverse generator draws it
+      os << "  " << r << arrow << v << " [label=\"" << g.name() << "\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+void write_histogram_tsv(std::ostream& os, const DistanceStats& stats) {
+  os << "distance\tcount\n";
+  for (std::size_t d = 0; d < stats.histogram.size(); ++d) {
+    os << d << "\t" << stats.histogram[d] << "\n";
+  }
+}
+
+}  // namespace scg

@@ -1,0 +1,29 @@
+// Export utilities: edge lists, Graphviz DOT, and TSV distance histograms,
+// so downstream users can inspect networks with standard tooling.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "networks/super_cayley.hpp"
+#include "topology/graph.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+
+/// "u v tag" per line; undirected graphs list each edge once (u < v).
+void write_edge_list(std::ostream& os, const Graph& g);
+
+/// Graphviz DOT.  Undirected graphs use `graph`/`--`, directed `digraph`/
+/// `->`.  Small graphs only (every edge is written).
+void write_dot(std::ostream& os, const Graph& g, const std::string& name);
+
+/// DOT of a Cayley network with permutation labels on nodes and generator
+/// names on edges — the state-transition-diagram view of the game.
+/// Practical for k <= 5 (120 nodes).
+void write_cayley_dot(std::ostream& os, const NetworkSpec& net);
+
+/// "distance\tcount" lines from a distance-stats histogram.
+void write_histogram_tsv(std::ostream& os, const DistanceStats& stats);
+
+}  // namespace scg

@@ -1,0 +1,121 @@
+#include "topology/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+
+namespace scg {
+
+ReverseCayleyView::ReverseCayleyView(const NetworkSpec& net) : net_(&net) {
+  inverses_.reserve(net.generators.size());
+  for (const Generator& g : net.generators) inverses_.push_back(g.inverse(net.l));
+}
+
+DistanceStats summarize(const std::vector<std::uint16_t>& dist) {
+  DistanceStats s;
+  s.nodes = dist.size();
+  std::uint64_t sum = 0;
+  for (const std::uint16_t d : dist) {
+    if (d == kUnreached) continue;
+    ++s.reachable;
+    s.eccentricity = std::max<int>(s.eccentricity, d);
+    sum += d;
+  }
+  s.histogram.assign(static_cast<std::size_t>(s.eccentricity) + 1, 0);
+  for (const std::uint16_t d : dist) {
+    if (d != kUnreached) ++s.histogram[d];
+  }
+  if (s.reachable > 1) {
+    s.average = static_cast<double>(sum) / static_cast<double>(s.reachable - 1);
+  }
+  return s;
+}
+
+DistanceStats network_distance_stats(const NetworkSpec& net, bool parallel) {
+  const CayleyView view{&net};
+  const std::uint64_t src = Permutation::identity(net.k()).rank();
+  const std::vector<std::uint16_t> dist =
+      parallel ? bfs_distances_parallel(view, src) : bfs_distances(view, src);
+  return summarize(dist);
+}
+
+DistanceStats intercluster_distance_stats(const NetworkSpec& net) {
+  const CayleyView view{&net};
+  const std::uint64_t src = Permutation::identity(net.k()).rank();
+  const auto dist = zero_one_bfs(view, src, [&](std::int32_t tag) {
+    return !is_nucleus(net.generators[static_cast<std::size_t>(tag)].kind);
+  });
+  return summarize(dist);
+}
+
+bool strongly_connected(const NetworkSpec& net) {
+  const std::uint64_t src = Permutation::identity(net.k()).rank();
+  {
+    const CayleyView view{&net};
+    if (!summarize(bfs_distances(view, src)).all_reachable()) return false;
+  }
+  if (net.directed) {
+    const ReverseCayleyView rview(net);
+    if (!summarize(bfs_distances(rview, src)).all_reachable()) return false;
+  }
+  return true;
+}
+
+Graph materialize(const NetworkSpec& net) {
+  std::vector<Graph::Edge> edges;
+  const std::uint64_t n = net.num_nodes();
+  edges.reserve(n * net.generators.size());
+  for (std::uint64_t u = 0; u < n; ++u) {
+    for_each_neighbor(net, u, [&](std::uint64_t v, int gi) {
+      edges.push_back(Graph::Edge{u, v, gi});
+    });
+  }
+  // Both directions are already listed for undirected networks (the
+  // generator set is inverse-closed), so build as directed arcs either way.
+  return Graph::build(n, /*directed=*/true, edges);
+}
+
+DistanceStats graph_distance_stats(const Graph& g, std::uint64_t src) {
+  return summarize(bfs_distances(g, src));
+}
+
+AllPairsStats all_pairs_stats(const Graph& g, ThreadPool* pool) {
+  const std::uint64_t n = g.num_nodes();
+  struct Partial {
+    int diameter = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t pairs = 0;
+    bool connected = true;
+  };
+  Partial total = parallel_reduce<Partial>(
+      n, Partial{},
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        Partial p;
+        for (std::uint64_t u = lo; u < hi; ++u) {
+          const DistanceStats s = summarize(bfs_distances(g, u));
+          p.diameter = std::max(p.diameter, s.eccentricity);
+          p.connected = p.connected && s.all_reachable();
+          for (std::size_t d = 1; d < s.histogram.size(); ++d) {
+            p.sum += d * s.histogram[d];
+            p.pairs += s.histogram[d];
+          }
+        }
+        return p;
+      },
+      [](Partial a, const Partial& b) {
+        a.diameter = std::max(a.diameter, b.diameter);
+        a.sum += b.sum;
+        a.pairs += b.pairs;
+        a.connected = a.connected && b.connected;
+        return a;
+      },
+      /*grain=*/1, pool);
+  AllPairsStats out;
+  out.diameter = total.diameter;
+  out.connected = total.connected;
+  out.average = total.pairs ? static_cast<double>(total.sum) / static_cast<double>(total.pairs) : 0.0;
+  return out;
+}
+
+}  // namespace scg

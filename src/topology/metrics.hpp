@@ -1,0 +1,99 @@
+// Distance metrics over graphs and Cayley networks.
+//
+// Every network in this library is vertex-symmetric (all are Cayley graphs,
+// Section 3.2 of the paper), so the distance profile from the identity node
+// IS the profile of the whole graph: one BFS yields diameter and average
+// distance.  Tests cross-check symmetry by BFS-ing from random nodes too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "networks/super_cayley.hpp"
+#include "topology/bfs.hpp"
+#include "topology/graph.hpp"
+
+namespace scg {
+
+/// Implicit-graph adapter over a NetworkSpec: neighbors are generated on the
+/// fly (unrank, apply generator, rank) — no adjacency is materialised, so
+/// k = 10..11 instances (3.6M–40M nodes) are traversable.
+struct CayleyView {
+  const NetworkSpec* net;
+
+  std::uint64_t num_nodes() const { return net->num_nodes(); }
+
+  template <typename Fn>
+  void for_each_neighbor(std::uint64_t u, Fn&& fn) const {
+    scg::for_each_neighbor(*net, u, fn);
+  }
+};
+
+/// Adapter traversing the reverse of a directed Cayley network (applies the
+/// inverse generators).  Used for strong-connectivity checks.
+struct ReverseCayleyView {
+  explicit ReverseCayleyView(const NetworkSpec& net);
+
+  std::uint64_t num_nodes() const { return net_->num_nodes(); }
+
+  template <typename Fn>
+  void for_each_neighbor(std::uint64_t u, Fn&& fn) const {
+    const Permutation x = Permutation::unrank(net_->k(), u);
+    for (std::size_t gi = 0; gi < inverses_.size(); ++gi) {
+      Permutation v = x;
+      inverses_[gi].apply(v);
+      fn(v.rank(), static_cast<int>(gi));
+    }
+  }
+
+ private:
+  const NetworkSpec* net_;
+  std::vector<Generator> inverses_;
+};
+
+/// Aggregates of a single-source distance array.
+struct DistanceStats {
+  std::uint64_t nodes = 0;       ///< total nodes
+  std::uint64_t reachable = 0;   ///< nodes with finite distance (incl. source)
+  int eccentricity = 0;          ///< max finite distance
+  double average = 0.0;          ///< mean distance over reachable nodes != src
+  std::vector<std::uint64_t> histogram;  ///< histogram[d] = #nodes at distance d
+
+  bool all_reachable() const { return reachable == nodes; }
+};
+
+DistanceStats summarize(const std::vector<std::uint16_t>& dist);
+
+/// Full distance profile of a Cayley network from the identity node.
+/// By vertex symmetry: eccentricity == diameter, average == average distance.
+DistanceStats network_distance_stats(const NetworkSpec& net,
+                                     bool parallel = true);
+
+/// Intercluster distance profile (paper Section 4.3): nucleus links cost 0,
+/// super links cost 1.  eccentricity == intercluster diameter; average ==
+/// average intercluster distance.
+DistanceStats intercluster_distance_stats(const NetworkSpec& net);
+
+/// True iff every node is reachable from the identity AND (for directed
+/// networks) the identity is reachable from every node.
+bool strongly_connected(const NetworkSpec& net);
+
+/// Materialises the network as an explicit CSR graph (tags = generator
+/// index).  Intended for small instances (k <= 8).  Directed networks yield
+/// a directed graph; undirected networks yield each edge once per generator
+/// pair, stored as a directed CSR with both arcs (so out_degree == degree).
+Graph materialize(const NetworkSpec& net);
+
+/// Distance stats of an arbitrary CSR graph from `src` (serial BFS).
+DistanceStats graph_distance_stats(const Graph& g, std::uint64_t src);
+
+/// Exact diameter + average distance of a (possibly non-symmetric) CSR
+/// graph by BFS from every node.  O(N * E); small graphs only.
+struct AllPairsStats {
+  int diameter = 0;
+  double average = 0.0;
+  bool connected = true;
+};
+AllPairsStats all_pairs_stats(const Graph& g, ThreadPool* pool = nullptr);
+
+}  // namespace scg

@@ -1,0 +1,121 @@
+// Ball-arrangement game plumbing: colors, rules, traces.
+#include "core/bag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "networks/super_cayley.hpp"
+
+namespace scg {
+namespace {
+
+TEST(BallColor, MatchesBoxPartition) {
+  // l=3, n=2, k=7: ball 1 is color 0; balls 2,3 color 1; 4,5 color 2; 6,7 color 3.
+  EXPECT_EQ(ball_color(1, 2), 0);
+  EXPECT_EQ(ball_color(2, 2), 1);
+  EXPECT_EQ(ball_color(3, 2), 1);
+  EXPECT_EQ(ball_color(4, 2), 2);
+  EXPECT_EQ(ball_color(5, 2), 2);
+  EXPECT_EQ(ball_color(6, 2), 3);
+  EXPECT_EQ(ball_color(7, 2), 3);
+}
+
+TEST(BallOffset, PositionWithinBox) {
+  EXPECT_EQ(ball_offset(2, 2), 0);
+  EXPECT_EQ(ball_offset(3, 2), 1);
+  EXPECT_EQ(ball_offset(4, 2), 0);
+  EXPECT_EQ(ball_offset(7, 2), 1);
+  EXPECT_EQ(box_first_symbol(1, 2), 2);
+  EXPECT_EQ(box_first_symbol(3, 2), 6);
+}
+
+TEST(BallColor, ConsistentWithIdentityPlacement) {
+  // In the identity, ball s sits at index s-1; its box is color(s) and its
+  // offset within the box is offset(s).
+  for (int n : {1, 2, 3, 4}) {
+    for (int l : {1, 2, 3}) {
+      const int k = n * l + 1;
+      for (int s = 2; s <= k; ++s) {
+        const int c = ball_color(s, n);
+        const int off = ball_offset(s, n);
+        EXPECT_EQ((c - 1) * n + 1 + off, s - 1) << "n=" << n << " s=" << s;
+        EXPECT_GE(c, 1);
+        EXPECT_LE(c, l);
+      }
+    }
+  }
+}
+
+TEST(GameRules, PermitsExactlyItsMoves) {
+  const GameRules rules = make_macro_star(2, 2).game();
+  EXPECT_TRUE(rules.permits(transposition(2)));
+  EXPECT_TRUE(rules.permits(transposition(3)));
+  EXPECT_TRUE(rules.permits(swap_boxes(2, 2)));
+  EXPECT_FALSE(rules.permits(transposition(4)));
+  EXPECT_FALSE(rules.permits(rotation(1, 2)));
+  EXPECT_FALSE(rules.permits(insertion(3)));
+  EXPECT_EQ(rules.k(), 5);
+  EXPECT_EQ(rules.num_states(), 120u);
+}
+
+TEST(GameTrace, RecordsStates) {
+  const Permutation start = Permutation::parse("1234567");
+  const std::vector<Generator> word = {rotation(1, 2), transposition(2)};
+  const GameTrace t = make_trace(start, word);
+  ASSERT_EQ(t.states.size(), 3u);
+  EXPECT_EQ(t.steps(), 2);
+  EXPECT_EQ(t.states[0], start);
+  EXPECT_EQ(t.states[1], Permutation::parse("1672345"));
+  EXPECT_EQ(t.final_state(), transposition(2).applied(t.states[1]));
+}
+
+TEST(GameTrace, RenderShowsBoxes) {
+  const GameTrace t = make_trace(Permutation::parse("1234567"), {rotation(1, 2)});
+  const std::string text = t.render(3, 2);
+  EXPECT_NE(text.find("[2 3]"), std::string::npos);
+  EXPECT_NE(text.find("R1"), std::string::npos);
+}
+
+TEST(ValidateTrace, AcceptsLegalPlay) {
+  const GameRules rules = make_complete_rotation_star(3, 2).game();
+  const GameTrace t = make_trace(Permutation::parse("1234567"),
+                                 {rotation(1, 2), transposition(3), rotation(2, 2)});
+  EXPECT_EQ(validate_trace(rules, t), "");
+}
+
+TEST(ValidateTrace, RejectsIllegalMove) {
+  const GameRules rules = make_macro_star(3, 2).game();  // swaps, not rotations
+  const GameTrace t = make_trace(Permutation::parse("1234567"), {rotation(1, 2)});
+  EXPECT_NE(validate_trace(rules, t), "");
+}
+
+TEST(ValidateTrace, RejectsTamperedStates) {
+  const GameRules rules = make_macro_star(3, 2).game();
+  GameTrace t = make_trace(Permutation::parse("1234567"), {transposition(2)});
+  t.states[1] = Permutation::parse("7654321");
+  EXPECT_NE(validate_trace(rules, t), "");
+}
+
+TEST(StepBounds, MatchPaperFormulas) {
+  // Balls-to-Boxes: floor(2.5 n l) + l - 1 + floor(1.5 (l-1)).
+  EXPECT_EQ(balls_to_boxes_step_bound(2, 2), 10 + 1 + 1);
+  EXPECT_EQ(balls_to_boxes_step_bound(3, 3), 22 + 2 + 3);
+  // Theorem 4.1: floor(2.5 k) + l - 4.
+  EXPECT_EQ(complete_rotation_star_step_bound(2, 2), 12 + 2 - 4);
+  EXPECT_EQ(complete_rotation_star_step_bound(3, 3), 25 + 3 - 4);
+  // l = 1 degenerates to the star bound.
+  EXPECT_EQ(complete_rotation_star_step_bound(1, 4), 6);
+  EXPECT_EQ(insertion_game_step_bound(1, 6, BoxMoveStyle::kSwap), 6);
+}
+
+TEST(StepBounds, MonotoneInSize) {
+  for (int l = 2; l <= 5; ++l) {
+    for (int n = 1; n <= 5; ++n) {
+      EXPECT_LT(balls_to_boxes_step_bound(l, n), balls_to_boxes_step_bound(l + 1, n));
+      EXPECT_LT(balls_to_boxes_step_bound(l, n), balls_to_boxes_step_bound(l, n + 1));
+      EXPECT_GT(insertion_game_step_bound(l, n, BoxMoveStyle::kSwap), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scg

@@ -1,0 +1,107 @@
+// Pins the semantics of the paper's Figures 1-3 (Section 2): the example
+// plays of the ball-arrangement game with l = 3 boxes of n = 2 balls.
+#include <gtest/gtest.h>
+
+#include "core/bag.hpp"
+#include "networks/super_cayley.hpp"
+
+namespace scg {
+namespace {
+
+constexpr int kL = 3;
+constexpr int kN = 2;
+const char* kFigureSource = "5342671";
+
+TEST(Figure1, RotationTranspositionPlaySolves) {
+  const Permutation start = Permutation::parse(kFigureSource);
+  const auto word = solve_transposition_game(start, kL, kN,
+                                             BoxMoveStyle::kCompleteRotation);
+  const GameTrace t = make_trace(start, word);
+  EXPECT_TRUE(t.final_state().is_identity());
+  EXPECT_LE(t.steps(), complete_rotation_star_step_bound(kL, kN));
+  // The paper notes ball 1 surfaces as the outside ball several times in
+  // such plays; count its appearances at position 1 (excluding the end).
+  int ball1_outside = 0;
+  for (std::size_t i = 0; i + 1 < t.states.size(); ++i) {
+    if (t.states[i][0] == 1) ++ball1_outside;
+  }
+  EXPECT_GE(ball1_outside, 1);
+}
+
+TEST(Figure2, FixedColorAssignmentPlaySolves) {
+  // Figure 2 uses the same box-color assignment as Figure 1 (colors 2,3,1,
+  // i.e. cyclic offset 1) and moves balls by insertion.
+  const Permutation start = Permutation::parse(kFigureSource);
+  const auto word = solve_insertion_game_with_offset(
+      start, kL, kN, BoxMoveStyle::kCompleteRotation, 1);
+  EXPECT_TRUE(apply_word(start, word).is_identity());
+}
+
+TEST(Figure3, BestAssignmentNeverWorseExhaustive) {
+  // Figure 3's point: a good color assignment reduces steps.  Over every
+  // start state, best-of-all-offsets <= the fixed offset-1 play.
+  const int k = kL * kN + 1;
+  bool strictly_better_somewhere = false;
+  for (std::uint64_t r = 0; r < factorial(k); ++r) {
+    const Permutation start = Permutation::unrank(k, r);
+    const auto fixed = solve_insertion_game_with_offset(
+        start, kL, kN, BoxMoveStyle::kCompleteRotation, 1);
+    const auto best =
+        solve_insertion_game(start, kL, kN, BoxMoveStyle::kCompleteRotation);
+    ASSERT_LE(best.size(), fixed.size()) << start.to_string();
+    if (best.size() < fixed.size()) strictly_better_somewhere = true;
+  }
+  EXPECT_TRUE(strictly_better_somewhere);
+}
+
+TEST(Figure2Vs1, InsertionAvoidsWastedColorZeroExchanges) {
+  // Section 2.3: the insertion rules reduce the wasted handling of the
+  // color-0 ball; on average over all starts the insertion play is no
+  // longer than the transposition play under the same box moves.
+  const int k = kL * kN + 1;
+  std::uint64_t transposition_total = 0;
+  std::uint64_t insertion_total = 0;
+  for (std::uint64_t r = 0; r < factorial(k); ++r) {
+    const Permutation start = Permutation::unrank(k, r);
+    transposition_total +=
+        solve_transposition_game(start, kL, kN,
+                                 BoxMoveStyle::kCompleteRotation)
+            .size();
+    insertion_total +=
+        solve_insertion_game(start, kL, kN, BoxMoveStyle::kCompleteRotation)
+            .size();
+  }
+  EXPECT_LE(insertion_total, transposition_total);
+}
+
+TEST(FigureRender, ShowsOutsideBallAndThreeBoxes) {
+  const Permutation start = Permutation::parse(kFigureSource);
+  const GameTrace t = make_trace(start, {});
+  const std::string text = t.render(kL, kN);
+  EXPECT_NE(text.find("5 [3 4][2 6][7 1]"), std::string::npos);
+}
+
+TEST(OffsetVariants, AllOffsetsSolve) {
+  const Permutation start = Permutation::parse(kFigureSource);
+  for (int b = 0; b < kL; ++b) {
+    const auto wt = solve_transposition_game_with_offset(
+        start, kL, kN, BoxMoveStyle::kCompleteRotation, b);
+    EXPECT_TRUE(apply_word(start, wt).is_identity()) << "offset " << b;
+    const auto wi = solve_insertion_game_with_offset(
+        start, kL, kN, BoxMoveStyle::kCompleteRotation, b);
+    EXPECT_TRUE(apply_word(start, wi).is_identity()) << "offset " << b;
+  }
+}
+
+TEST(OffsetVariants, SwapStyleSupportsOffsetsToo) {
+  // With swaps, Phase 2 sorts any designation; every offset must solve.
+  const Permutation start = Permutation::parse(kFigureSource);
+  for (int b = 0; b < kL; ++b) {
+    const auto w = solve_transposition_game_with_offset(
+        start, kL, kN, BoxMoveStyle::kSwap, b);
+    EXPECT_TRUE(apply_word(start, w).is_identity()) << "offset " << b;
+  }
+}
+
+}  // namespace
+}  // namespace scg

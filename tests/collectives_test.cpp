@@ -1,0 +1,213 @@
+// Collective-communication schedulers vs the model lower bounds.
+#include <gtest/gtest.h>
+
+#include "collectives/collectives.hpp"
+#include "topology/baselines.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+TEST(BroadcastSinglePort, CompleteGraphIsOptimal) {
+  // On K_n the informed set can double every round: ceil(log2 n) rounds.
+  for (std::uint64_t n : {4u, 8u, 16u, 30u}) {
+    const CollectiveResult r = broadcast_single_port(make_complete(n), 0);
+    EXPECT_TRUE(r.complete);
+    EXPECT_EQ(r.rounds, broadcast_single_port_lower_bound(n)) << n;
+    EXPECT_EQ(r.messages, n - 1);  // exactly one reception per node
+  }
+}
+
+TEST(BroadcastSinglePort, NeverBeatsLogLowerBound) {
+  const Graph graphs[] = {make_hypercube(6), make_ring(32), make_torus_2d(6, 6)};
+  for (const Graph& g : graphs) {
+    const CollectiveResult r = broadcast_single_port(g, 0);
+    EXPECT_TRUE(r.complete);
+    EXPECT_GE(r.rounds, broadcast_single_port_lower_bound(g.num_nodes()));
+    EXPECT_EQ(r.messages, g.num_nodes() - 1);
+  }
+}
+
+TEST(BroadcastSinglePort, RingTakesLinearRounds) {
+  // On a ring only two frontier nodes can forward: ~n/2 rounds.
+  const CollectiveResult r = broadcast_single_port(make_ring(20), 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.rounds, 10);
+  EXPECT_LE(r.rounds, 11);
+}
+
+TEST(BroadcastAllPort, TakesEccentricityRounds) {
+  const Graph g = make_hypercube(6);
+  const CollectiveResult r = broadcast_all_port(g, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.rounds, 6);  // eccentricity of any hypercube node
+  const Graph ring = make_ring(15);
+  EXPECT_EQ(broadcast_all_port(ring, 3).rounds, 7);
+}
+
+TEST(BroadcastAllPort, SuperCayleyMatchesDiameter) {
+  const NetworkSpec net = make_complete_rotation_star(2, 2);
+  const Graph g = materialize(net);
+  const DistanceStats s = network_distance_stats(net, false);
+  const CollectiveResult r =
+      broadcast_all_port(g, Permutation::identity(5).rank());
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.rounds, s.eccentricity);
+}
+
+TEST(MnbAllPort, CompleteGraphOneRound) {
+  // Every arc (u,v) carries u's packet in round one: done immediately.
+  const CollectiveResult r = mnb_all_port(make_complete(6));
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.rounds, 1);
+}
+
+TEST(MnbAllPort, RespectsLowerBound) {
+  struct Case {
+    Graph g;
+    int degree;
+    int diameter;
+  };
+  const Case cases[] = {{make_hypercube(5), 5, 5},
+                        {make_ring(16), 2, 8},
+                        {make_torus_2d(4, 4), 4, 4}};
+  for (const Case& c : cases) {
+    const CollectiveResult r = mnb_all_port(c.g);
+    EXPECT_TRUE(r.complete);
+    EXPECT_GE(r.rounds,
+              mnb_all_port_lower_bound(c.g.num_nodes(), c.degree, c.diameter));
+    // Greedy gossip is within a small constant of the bandwidth bound.
+    EXPECT_LE(r.rounds, 4 * mnb_all_port_lower_bound(c.g.num_nodes(), c.degree,
+                                                     c.diameter) +
+                            8);
+  }
+}
+
+TEST(MnbAllPort, SuperCayleyCompletesNearBound) {
+  const NetworkSpec net = make_macro_star(2, 2);  // N = 120, degree 3
+  const Graph g = materialize(net);
+  const DistanceStats s = network_distance_stats(net, false);
+  const CollectiveResult r = mnb_all_port(g);
+  EXPECT_TRUE(r.complete);
+  const int lb = mnb_all_port_lower_bound(120, net.degree(), s.eccentricity);
+  EXPECT_GE(r.rounds, lb);
+  EXPECT_LE(r.rounds, 3 * lb);
+  // Every node must absorb N-1 packets: messages >= N(N-1).
+  EXPECT_GE(r.messages, 120u * 119u);
+}
+
+TEST(MnbSinglePort, CompleteGraphIsNearOptimal) {
+  const CollectiveResult r = mnb_single_port(make_complete(8));
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.rounds, mnb_single_port_lower_bound(8));
+  EXPECT_LE(r.rounds, 2 * mnb_single_port_lower_bound(8));
+}
+
+TEST(MnbSinglePort, MessagesCountReceptions) {
+  const CollectiveResult r = mnb_single_port(make_ring(6));
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.messages, 6u * 5u);  // exactly N(N-1) useful receptions
+}
+
+TEST(Collectives, MaxRoundsCapsIncompleteRuns) {
+  const CollectiveResult r = mnb_all_port(make_ring(32), /*max_rounds=*/2);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.rounds, 2);
+}
+
+TEST(ScatterSinglePort, CompleteGraphTakesNMinusOneRounds) {
+  const CollectiveResult r = scatter_single_port(make_complete(7), 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.rounds, scatter_single_port_lower_bound(7));
+  EXPECT_EQ(r.messages, 6u);  // every packet delivered in one hop
+}
+
+TEST(ScatterSinglePort, RespectsLowerBoundEverywhere) {
+  const Graph graphs[] = {make_hypercube(5), make_ring(12), make_torus_2d(4, 4)};
+  for (const Graph& g : graphs) {
+    const CollectiveResult r = scatter_single_port(g, 0);
+    EXPECT_TRUE(r.complete);
+    EXPECT_GE(r.rounds, scatter_single_port_lower_bound(g.num_nodes()));
+    // Greedy relaying stays within a small factor of N-1.
+    EXPECT_LE(r.rounds, 3 * static_cast<int>(g.num_nodes()));
+  }
+}
+
+TEST(ScatterSinglePort, SuperCayleyNearOptimal) {
+  const NetworkSpec net = make_complete_rotation_star(2, 2);
+  const Graph g = materialize(net);
+  const CollectiveResult r =
+      scatter_single_port(g, Permutation::identity(5).rank());
+  EXPECT_TRUE(r.complete);
+  EXPECT_GE(r.rounds, 119);
+  EXPECT_LE(r.rounds, 2 * 119);
+}
+
+TEST(TeAllPort, CompleteGraphOneRound) {
+  // Each ordered pair has a dedicated arc: every packet moves in round 1.
+  const CollectiveResult r = te_all_port(make_complete(6));
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.rounds, 1);
+  EXPECT_EQ(r.messages, 30u);
+}
+
+TEST(TeAllPort, RespectsBandwidthBound) {
+  struct Case {
+    Graph g;
+    int degree;
+  };
+  Case cases[] = {{make_hypercube(5), 5}, {make_ring(12), 2},
+                  {make_torus_2d(4, 4), 4}};
+  for (Case& c : cases) {
+    const DistanceStats s = graph_distance_stats(c.g, 0);
+    const CollectiveResult r = te_all_port(c.g);
+    EXPECT_TRUE(r.complete);
+    EXPECT_GE(r.rounds,
+              te_all_port_lower_bound(c.g.num_nodes(), c.degree, s.average));
+    // Messages = total packet-hops = sum of all pairwise distances.
+    std::uint64_t expected_hops = 0;
+    for (std::uint64_t u = 0; u < c.g.num_nodes(); ++u) {
+      const DistanceStats du = summarize(bfs_distances(c.g, u));
+      for (std::size_t d = 1; d < du.histogram.size(); ++d) {
+        expected_hops += d * du.histogram[d];
+      }
+    }
+    EXPECT_EQ(r.messages, expected_hops);
+  }
+}
+
+TEST(TeAllPort, SuperCayleyNearBandwidthBound) {
+  const NetworkSpec net = make_macro_star(2, 2);
+  const Graph g = materialize(net);
+  const DistanceStats s = network_distance_stats(net, false);
+  const CollectiveResult r = te_all_port(g);
+  EXPECT_TRUE(r.complete);
+  const int lb = te_all_port_lower_bound(120, net.degree(), s.average);
+  EXPECT_GE(r.rounds, lb);
+  EXPECT_LE(r.rounds, 3 * lb);
+}
+
+TEST(TeAllPort, RejectsAsymmetricGraphs) {
+  // 0->1 without 1->0: BFS-toward-destination routing is invalid.
+  const Graph g = Graph::build(3, true, {{0, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  EXPECT_THROW(te_all_port(g), std::invalid_argument);
+  EXPECT_THROW(scatter_single_port(g, 0), std::invalid_argument);
+  // A symmetric pair of arcs built as a "directed" graph is accepted.
+  const Graph ok = Graph::build(2, true, {{0, 1, 0}, {1, 0, 0}});
+  EXPECT_TRUE(te_all_port(ok).complete);
+}
+
+TEST(LowerBounds, Formulas) {
+  EXPECT_EQ(broadcast_single_port_lower_bound(1), 0);
+  EXPECT_EQ(broadcast_single_port_lower_bound(2), 1);
+  EXPECT_EQ(broadcast_single_port_lower_bound(9), 4);
+  EXPECT_EQ(mnb_single_port_lower_bound(100), 99);
+  EXPECT_EQ(mnb_all_port_lower_bound(121, 4, 10), 30);
+  EXPECT_EQ(mnb_all_port_lower_bound(121, 4, 40), 40);
+  EXPECT_EQ(scatter_single_port_lower_bound(50), 49);
+  // TE: (N-1)*avg/d rounded up.
+  EXPECT_EQ(te_all_port_lower_bound(11, 2, 3.0), 15);
+}
+
+}  // namespace
+}  // namespace scg

@@ -1,0 +1,129 @@
+// Fault tolerance: edge connectivity of Cayley graphs equals degree
+// (connected vertex-symmetric graphs are maximally edge-connected), fault
+// injection, and survival under random failures.
+#include <gtest/gtest.h>
+
+#include "topology/baselines.hpp"
+#include "topology/fault.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+TEST(EdgeConnectivity, PairOnRing) {
+  const Graph g = make_ring(8);
+  EXPECT_EQ(edge_connectivity_pair(g, 0, 4), 2u);
+  EXPECT_EQ(edge_connectivity(g), 2u);
+}
+
+TEST(EdgeConnectivity, Hypercube) {
+  for (int d = 2; d <= 5; ++d) {
+    EXPECT_EQ(edge_connectivity(make_hypercube(d)), static_cast<std::uint64_t>(d));
+  }
+}
+
+TEST(EdgeConnectivity, PathIsOne) {
+  EXPECT_EQ(edge_connectivity(make_path(6)), 1u);
+}
+
+TEST(EdgeConnectivity, CompleteGraph) {
+  EXPECT_EQ(edge_connectivity(make_complete(6)), 5u);
+}
+
+TEST(EdgeConnectivity, SuperCayleyGraphsAreMaximallyConnected) {
+  // Connected vertex-symmetric graphs have edge connectivity == degree;
+  // verify exactly on materialised N = 120 instances.
+  for (const NetworkSpec& net :
+       {make_macro_star(2, 2), make_complete_rotation_star(2, 2),
+        make_macro_is(2, 2), make_star_graph(5)}) {
+    if (net.directed) continue;
+    const Graph g = materialize(net);
+    EXPECT_EQ(edge_connectivity(g), static_cast<std::uint64_t>(net.degree()))
+        << net.name;
+  }
+}
+
+TEST(VertexConnectivity, KnownGraphs) {
+  EXPECT_EQ(vertex_connectivity(make_ring(8)), 2u);
+  EXPECT_EQ(vertex_connectivity(make_path(5)), 1u);
+  EXPECT_EQ(vertex_connectivity(make_complete(6)), 5u);
+  for (int d = 2; d <= 4; ++d) {
+    EXPECT_EQ(vertex_connectivity(make_hypercube(d)), static_cast<std::uint64_t>(d));
+  }
+}
+
+TEST(VertexConnectivity, PairOnRing) {
+  const Graph g = make_ring(8);
+  EXPECT_EQ(vertex_connectivity_pair(g, 0, 4), 2u);
+  // Adjacent pair: the direct edge plus the long way around.
+  EXPECT_EQ(vertex_connectivity_pair(g, 0, 1), 2u);
+}
+
+TEST(VertexConnectivity, StarGraphIsKMinusTwo) {
+  // The k-star's vertex connectivity is k-1... its degree; verify on the
+  // 4-star (24 nodes, degree 3): kappa == 3.
+  const Graph g = materialize(make_star_graph(4));
+  EXPECT_EQ(vertex_connectivity(g), 3u);
+}
+
+TEST(VertexConnectivity, SuperCayleyAtSmallSize) {
+  // MS(2,1) == 3-star: degree 2, kappa 2 (a 6-cycle).
+  const Graph g = materialize(make_macro_star(2, 1));
+  EXPECT_EQ(vertex_connectivity(g), 2u);
+  // MS(3,1): degree 3 Cayley graph of S4; kappa == 3.
+  const Graph g2 = materialize(make_macro_star(3, 1));
+  EXPECT_EQ(vertex_connectivity(g2), 3u);
+}
+
+TEST(WithFaults, RemovesNodesAndLinks) {
+  const Graph g = make_ring(6);
+  const Graph h = with_faults(g, {2}, {{0, 1}});
+  EXPECT_EQ(h.out_degree(2), 0u);
+  EXPECT_EQ(h.find_arc(0, 1), h.num_links());
+  EXPECT_EQ(h.find_arc(1, 0), h.num_links());  // undirected: both dropped
+  EXPECT_NE(h.find_arc(4, 5), h.num_links());
+  EXPECT_EQ(h.find_arc(1, 2), h.num_links());  // incident to failed node
+}
+
+TEST(ConnectedAfterFaults, DetectsDisconnection) {
+  const Graph g = make_ring(6);
+  EXPECT_TRUE(connected_after_faults(g, {}, {}));
+  EXPECT_TRUE(connected_after_faults(g, {}, {{0, 1}}));        // still a path
+  EXPECT_FALSE(connected_after_faults(g, {}, {{0, 1}, {3, 4}}));  // split
+  EXPECT_TRUE(connected_after_faults(g, {0}, {}));             // path remains
+  EXPECT_FALSE(connected_after_faults(g, {0, 3}, {}));         // split
+}
+
+TEST(ConnectedAfterFaults, TrivialCases) {
+  const Graph g = make_ring(4);
+  EXPECT_TRUE(connected_after_faults(g, {0, 1, 2}, {}));  // single survivor
+  EXPECT_TRUE(connected_after_faults(g, {0, 1, 2, 3}, {}));  // none
+}
+
+TEST(FaultTolerance, DegreeMinusOneLinkFailuresNeverDisconnect) {
+  // Edge connectivity == degree, so any degree-1 link failures keep the
+  // network connected; spot-check many random failure sets.
+  const NetworkSpec net = make_macro_star(2, 2);  // degree 3
+  const Graph g = materialize(net);
+  const double rate =
+      random_fault_survival_rate(g, 0, net.degree() - 1, 200, 7);
+  EXPECT_EQ(rate, 1.0);
+}
+
+TEST(FaultTolerance, SurvivalDegradesGracefully) {
+  const NetworkSpec net = make_complete_rotation_star(2, 2);
+  const Graph g = materialize(net);
+  const double light = random_fault_survival_rate(g, 1, 2, 100, 11);
+  EXPECT_GE(light, 0.9);  // far below the connectivity threshold
+}
+
+TEST(FaultTolerance, StarGraphNodeFaults) {
+  // Star graphs tolerate node failures well (their node connectivity is
+  // k-1); removing 2 random nodes of the 5-star must keep it connected in
+  // virtually every trial.
+  const Graph g = materialize(make_star_graph(5));
+  EXPECT_GE(random_fault_survival_rate(g, 2, 0, 100, 3), 0.99);
+}
+
+}  // namespace
+}  // namespace scg

@@ -1,0 +1,185 @@
+// Pins the generator semantics to the paper's displayed equations
+// (Definitions 3.1-3.4).
+#include "core/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace scg {
+namespace {
+
+Permutation P(const std::string& s) { return Permutation::parse(s); }
+
+TEST(Transposition, SwapsLeftmostWithPositionI) {
+  // T_i interchanges u_i with u_1.
+  EXPECT_EQ(transposition(2).applied(P("123456")), P("213456"));
+  EXPECT_EQ(transposition(4).applied(P("123456")), P("423156"));
+  EXPECT_EQ(transposition(6).applied(P("123456")), P("623451"));
+}
+
+TEST(Transposition, IsInvolution) {
+  const Permutation u = P("5342671");
+  for (int i = 2; i <= 7; ++i) {
+    const Generator t = transposition(i);
+    EXPECT_TRUE(t.is_involution());
+    EXPECT_EQ(t.applied(t.applied(u)), u);
+    EXPECT_EQ(t.inverse(), t);
+  }
+}
+
+TEST(Insertion, MatchesPaperEquation) {
+  // I_i(U) = u_{2:i} u_1 u_{i+1:k}.
+  EXPECT_EQ(insertion(2).applied(P("123456")), P("213456"));
+  EXPECT_EQ(insertion(4).applied(P("123456")), P("234156"));
+  EXPECT_EQ(insertion(6).applied(P("123456")), P("234561"));
+  EXPECT_EQ(insertion(3).applied(P("5342671")), P("3452671"));
+}
+
+TEST(Selection, MatchesPaperEquation) {
+  // I_i^{-1}(U) = u_i u_{1:i-1} u_{i+1:k}.
+  EXPECT_EQ(selection(2).applied(P("123456")), P("213456"));
+  EXPECT_EQ(selection(4).applied(P("123456")), P("412356"));
+  EXPECT_EQ(selection(6).applied(P("123456")), P("612345"));
+}
+
+TEST(InsertionSelection, AreMutuallyInverse) {
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::uint64_t> pick(0, factorial(8) - 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Permutation u = Permutation::unrank(8, pick(rng));
+    for (int i = 2; i <= 8; ++i) {
+      EXPECT_EQ(selection(i).applied(insertion(i).applied(u)), u);
+      EXPECT_EQ(insertion(i).applied(selection(i).applied(u)), u);
+      EXPECT_EQ(insertion(i).inverse(), selection(i));
+      EXPECT_EQ(selection(i).inverse(), insertion(i));
+    }
+  }
+}
+
+TEST(InsertionTwo, EqualsTranspositionTwo) {
+  const Permutation u = P("5342671");
+  EXPECT_EQ(insertion(2).applied(u), transposition(2).applied(u));
+  EXPECT_EQ(selection(2).applied(u), transposition(2).applied(u));
+  EXPECT_TRUE(insertion(2).is_involution());
+  EXPECT_FALSE(insertion(3).is_involution());
+}
+
+TEST(SwapGenerator, SwapsSuperSymbols) {
+  // S_{i,n} interchanges u_{(i-1)n+2 : in+1} with u_{2 : n+1}.
+  // l=3, n=2, k=7: boxes at positions 2-3, 4-5, 6-7.
+  EXPECT_EQ(swap_boxes(2, 2).applied(P("1234567")), P("1452367"));
+  EXPECT_EQ(swap_boxes(3, 2).applied(P("1234567")), P("1674523"));
+  // l=2, n=3, k=7: boxes at positions 2-4, 5-7.
+  EXPECT_EQ(swap_boxes(2, 3).applied(P("1234567")), P("1567234"));
+}
+
+TEST(SwapGenerator, IsInvolution) {
+  const Permutation u = P("5342671");
+  for (int i = 2; i <= 3; ++i) {
+    const Generator s = swap_boxes(i, 2);
+    EXPECT_TRUE(s.is_involution());
+    EXPECT_EQ(s.applied(s.applied(u)), u);
+  }
+}
+
+TEST(RotationGenerator, MatchesPaperEquation) {
+  // R^i(U) = u_1 u_{k-in+1:k} u_{2:k-in}; l=3, n=2, k=7.
+  EXPECT_EQ(rotation(1, 2).applied(P("1234567")), P("1672345"));
+  EXPECT_EQ(rotation(2, 2).applied(P("1234567")), P("1456723"));
+  // One full turn is the identity.
+  EXPECT_EQ(rotation(3, 2).applied(P("1234567")), P("1234567"));
+}
+
+TEST(RotationGenerator, PowersCompose) {
+  // R^i = R applied i times (paper: R^i = R·R···R).
+  const Permutation u = P("5342671");
+  Permutation v = u;
+  for (int i = 1; i < 3; ++i) {
+    v = rotation(1, 2).applied(v);
+    EXPECT_EQ(rotation(i, 2).applied(u), v) << "i=" << i;
+  }
+}
+
+TEST(RotationGenerator, InverseNeedsL) {
+  EXPECT_THROW(rotation(1, 2).inverse(), std::invalid_argument);
+  EXPECT_EQ(rotation(1, 2).inverse(3), rotation(2, 2));
+  EXPECT_EQ(rotation(2, 2).inverse(3), rotation(1, 2));
+  const Permutation u = P("5342671");
+  EXPECT_EQ(rotation(2, 2).applied(rotation(1, 2).applied(u)), u);
+}
+
+TEST(RotationGenerator, InvolutionIffHalfTurn) {
+  EXPECT_TRUE(rotation(2, 2).is_involution(4));
+  EXPECT_FALSE(rotation(1, 2).is_involution(4));
+  EXPECT_FALSE(rotation(1, 2).is_involution(3));
+}
+
+TEST(Exchange, SwapsTwoPositions) {
+  EXPECT_EQ(exchange(3, 4).applied(P("123456")), P("124356"));
+  EXPECT_EQ(exchange(1, 6).applied(P("123456")), P("623451"));
+  EXPECT_EQ(exchange(2, 1).applied(P("123456")),
+            transposition(2).applied(P("123456")));
+  EXPECT_TRUE(exchange(2, 5).is_involution());
+  EXPECT_EQ(exchange(2, 5).inverse(), exchange(2, 5));
+}
+
+TEST(Generators, PositionPermutationConsistency) {
+  // applied(u) == u.compose_positions(as_position_permutation()).
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::uint64_t> pick(0, factorial(7) - 1);
+  const std::vector<Generator> gens = {
+      transposition(4), insertion(5),      selection(6),   swap_boxes(2, 3),
+      rotation(1, 3),   swap_boxes(3, 2),  rotation(2, 2), exchange(3, 5)};
+  for (int trial = 0; trial < 30; ++trial) {
+    const Permutation u = Permutation::unrank(7, pick(rng));
+    for (const Generator& g : gens) {
+      EXPECT_EQ(g.applied(u), u.compose_positions(g.as_position_permutation(7)))
+          << g.name();
+    }
+  }
+}
+
+TEST(Generators, Names) {
+  EXPECT_EQ(transposition(3).name(), "T3");
+  EXPECT_EQ(insertion(4).name(), "I4");
+  EXPECT_EQ(selection(4).name(), "I4'");
+  EXPECT_EQ(swap_boxes(2, 3).name(), "S2");
+  EXPECT_EQ(rotation(2, 3).name(), "R2");
+  EXPECT_EQ(exchange(1, 2).name(), "X1,2");
+}
+
+TEST(Generators, ConstructorsValidate) {
+  EXPECT_THROW(transposition(1), std::invalid_argument);
+  EXPECT_THROW(insertion(0), std::invalid_argument);
+  EXPECT_THROW(swap_boxes(1, 2), std::invalid_argument);
+  EXPECT_THROW(rotation(0, 2), std::invalid_argument);
+  EXPECT_THROW(exchange(2, 2), std::invalid_argument);
+}
+
+TEST(ApplyWord, ComposesLeftToRight) {
+  const Permutation u = P("1234567");
+  const std::vector<Generator> word = {transposition(3), rotation(1, 2),
+                                       insertion(2)};
+  Permutation expect = u;
+  for (const Generator& g : word) g.apply(expect);
+  EXPECT_EQ(apply_word(u, word), expect);
+}
+
+TEST(InverseClosure, DetectsDirectedSets) {
+  // T's and S's are involutions: closed.
+  EXPECT_TRUE(is_inverse_closed({transposition(2), swap_boxes(2, 2)}, 2, 5));
+  // Insertions alone are not closed (their inverses are selections)...
+  EXPECT_FALSE(is_inverse_closed({insertion(3)}, 2, 5));
+  EXPECT_TRUE(is_inverse_closed({insertion(3), selection(3)}, 2, 5));
+  // ...except I_2, which is its own inverse as a permutation.
+  EXPECT_TRUE(is_inverse_closed({insertion(2)}, 2, 5));
+  // Rotations: R^1's inverse is R^{l-1}.
+  EXPECT_FALSE(is_inverse_closed({rotation(1, 2)}, 3, 7));
+  EXPECT_TRUE(is_inverse_closed({rotation(1, 2), rotation(2, 2)}, 3, 7));
+  // With l == 2, R^1 is its own inverse.
+  EXPECT_TRUE(is_inverse_closed({rotation(1, 3)}, 2, 7));
+}
+
+}  // namespace
+}  // namespace scg

@@ -1,0 +1,90 @@
+// Golden regression tests: exact distance distributions of every network
+// family at k = 5 (120 nodes).  These pin the topologies bit-for-bit — any
+// change to generator semantics, ranking, or BFS shows up here first.
+//
+// Values were produced by this library and cross-checked against the
+// independent invariants tested elsewhere (degree counts, symmetry,
+// theorem bounds); they are recorded so future refactors cannot silently
+// change the graphs.
+#include <gtest/gtest.h>
+
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+using Hist = std::vector<std::uint64_t>;
+
+Hist histogram_of(const NetworkSpec& net) {
+  return network_distance_stats(net, false).histogram;
+}
+
+TEST(Golden, StarFive) {
+  // The 5-star: degree 4, diameter 6; the classic distance distribution.
+  EXPECT_EQ(histogram_of(make_star_graph(5)),
+            (Hist{1, 4, 12, 30, 44, 26, 3}));
+}
+
+TEST(Golden, MacroStar22) {
+  EXPECT_EQ(histogram_of(make_macro_star(2, 2)),
+            (Hist{1, 3, 6, 11, 20, 37, 34, 7, 1}));
+}
+
+TEST(Golden, CompleteRotationStar22MatchesMS) {
+  // For l = 2 the swap S_2 and the rotation R^1 are the same move, so
+  // MS(2,2) and complete-RS(2,2) are the same graph.
+  EXPECT_EQ(histogram_of(make_complete_rotation_star(2, 2)),
+            histogram_of(make_macro_star(2, 2)));
+  EXPECT_EQ(histogram_of(make_complete_rotation_star(2, 2)),
+            (Hist{1, 3, 6, 11, 20, 37, 34, 7, 1}));
+}
+
+TEST(Golden, MacroRotator22) {
+  EXPECT_EQ(histogram_of(make_macro_rotator(2, 2)),
+            (Hist{1, 3, 7, 12, 23, 41, 33}));
+}
+
+TEST(Golden, RotationRotator22) {
+  EXPECT_EQ(histogram_of(make_rotation_rotator(2, 2)),
+            (Hist{1, 3, 7, 12, 23, 41, 33}));
+}
+
+TEST(Golden, InsertionSelectionFive) {
+  EXPECT_EQ(histogram_of(make_insertion_selection(5)),
+            (Hist{1, 7, 33, 60, 19}));
+}
+
+TEST(Golden, MacroIS22) {
+  EXPECT_EQ(histogram_of(make_macro_is(2, 2)),
+            (Hist{1, 4, 8, 16, 32, 50, 9}));
+}
+
+TEST(Golden, RotationIS22) {
+  EXPECT_EQ(histogram_of(make_rotation_is(2, 2)),
+            (Hist{1, 4, 8, 16, 32, 50, 9}));
+}
+
+TEST(Golden, RotatorFive) {
+  EXPECT_EQ(histogram_of(make_rotator_graph(5)),
+            (Hist{1, 4, 15, 40, 60}));
+}
+
+TEST(Golden, PancakeFive) {
+  EXPECT_EQ(histogram_of(make_pancake_graph(5)),
+            (Hist{1, 4, 12, 35, 48, 20}));
+}
+
+TEST(Golden, BubbleSortFive) {
+  // Distances = inversion counts: the Mahonian distribution for k = 5.
+  EXPECT_EQ(histogram_of(make_bubble_sort_graph(5)),
+            (Hist{1, 4, 9, 15, 20, 22, 20, 15, 9, 4, 1}));
+}
+
+TEST(Golden, TranspositionNetworkFive) {
+  // Distances = 5 - #cycles: the (reversed) Stirling-cycle distribution.
+  EXPECT_EQ(histogram_of(make_transposition_network(5)),
+            (Hist{1, 10, 35, 50, 24}));
+}
+
+}  // namespace
+}  // namespace scg

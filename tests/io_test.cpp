@@ -1,0 +1,90 @@
+// Export utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "topology/baselines.hpp"
+#include "topology/io.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+TEST(EdgeList, UndirectedEdgesListedOnce) {
+  std::ostringstream os;
+  write_edge_list(os, make_ring(4));
+  // 4 edges, each once.
+  int lines = 0;
+  std::string line;
+  std::istringstream is(os.str());
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(os.str().find("0 1 0"), std::string::npos);
+  EXPECT_NE(os.str().find("0 3 0"), std::string::npos)
+      << "wrap edge listed once with the smaller endpoint first";
+}
+
+TEST(EdgeList, DirectedArcsAllListed) {
+  const Graph g = Graph::build(3, true, {{0, 1, 5}, {1, 0, 6}});
+  std::ostringstream os;
+  write_edge_list(os, g);
+  EXPECT_NE(os.str().find("0 1 5"), std::string::npos);
+  EXPECT_NE(os.str().find("1 0 6"), std::string::npos);
+}
+
+TEST(Dot, UndirectedUsesGraphSyntax) {
+  std::ostringstream os;
+  write_dot(os, make_path(3), "p3");
+  EXPECT_NE(os.str().find("graph p3 {"), std::string::npos);
+  EXPECT_NE(os.str().find("0 -- 1;"), std::string::npos);
+  EXPECT_EQ(os.str().find("->"), std::string::npos);
+}
+
+TEST(Dot, DirectedUsesDigraphSyntax) {
+  const Graph g = Graph::build(2, true, {{0, 1, 0}});
+  std::ostringstream os;
+  write_dot(os, g, "d");
+  EXPECT_NE(os.str().find("digraph d {"), std::string::npos);
+  EXPECT_NE(os.str().find("0 -> 1;"), std::string::npos);
+}
+
+TEST(CayleyDot, LabelsNodesWithPermutations) {
+  const NetworkSpec net = make_star_graph(3);  // 6 nodes
+  std::ostringstream os;
+  write_cayley_dot(os, net);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("label=\"123\""), std::string::npos);
+  EXPECT_NE(out.find("label=\"321\""), std::string::npos);
+  EXPECT_NE(out.find("label=\"T2\""), std::string::npos);
+  EXPECT_NE(out.find("label=\"T3\""), std::string::npos);
+  // Undirected star: `--` edges, each listed once => 6*2/2 = 6 edge lines.
+  std::size_t count = 0;
+  for (std::size_t pos = out.find(" -- "); pos != std::string::npos;
+       pos = out.find(" -- ", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 6u);
+}
+
+TEST(CayleyDot, DirectedNetworkKeepsAllArcs) {
+  const NetworkSpec net = make_rotator_graph(3);
+  std::ostringstream os;
+  write_cayley_dot(os, net);
+  const std::string out = os.str();
+  std::size_t count = 0;
+  for (std::size_t pos = out.find(" -> "); pos != std::string::npos;
+       pos = out.find(" -> ", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 6u * 2u);  // 6 nodes x out-degree 2
+}
+
+TEST(HistogramTsv, MatchesStats) {
+  const DistanceStats s = graph_distance_stats(make_path(4), 0);
+  std::ostringstream os;
+  write_histogram_tsv(os, s);
+  EXPECT_EQ(os.str(), "distance\tcount\n0\t1\n1\t1\n2\t1\n3\t1\n");
+}
+
+}  // namespace
+}  // namespace scg

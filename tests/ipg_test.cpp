@@ -1,0 +1,171 @@
+// Index-permutation graphs (Section 4.3's pointer): multiset ranking, the
+// SIP network classes, the color-level solver, and the correspondence with
+// super Cayley intercluster metrics.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "ipg/ipg_network.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+TEST(IpgShape, CountsStates) {
+  // l=3 boxes of n=2 plus the outside ball: 7!/(2!^3) = 630.
+  const IpgShape shape({1, 2, 2, 2});
+  EXPECT_EQ(shape.length(), 7);
+  EXPECT_EQ(shape.num_states(), 630u);
+  // Binary multiset: 6!/(3!3!) = 20.
+  EXPECT_EQ(IpgShape({3, 3}).num_states(), 20u);
+  // Distinct symbols degenerate to k!.
+  EXPECT_EQ(IpgShape({1, 1, 1, 1, 1}).num_states(), 120u);
+}
+
+TEST(IpgShape, Validates) {
+  EXPECT_THROW(IpgShape({}), std::invalid_argument);
+  EXPECT_THROW(IpgShape({-1, 2}), std::invalid_argument);
+  EXPECT_THROW(IpgShape(std::vector<int>{25}), std::invalid_argument);
+}
+
+TEST(IndexPermutation, SortedGoal) {
+  const IpgShape shape({1, 2, 2, 2});
+  EXPECT_EQ(IndexPermutation::sorted(shape).to_string(), "0112233");
+}
+
+TEST(IndexPermutation, RankUnrankRoundTripExhaustive) {
+  const IpgShape shape({1, 2, 2, 2});
+  std::set<std::string> seen;
+  for (std::uint64_t r = 0; r < shape.num_states(); ++r) {
+    const IndexPermutation p = IndexPermutation::unrank(shape, r);
+    EXPECT_EQ(p.rank(shape), r);
+    EXPECT_TRUE(seen.insert(p.to_string()).second);
+  }
+  EXPECT_EQ(seen.size(), 630u);
+}
+
+TEST(IndexPermutation, RankIsLexicographic) {
+  const IpgShape shape({1, 1, 2});  // length 4: symbols 0,1,2,2
+  EXPECT_EQ(IndexPermutation::unrank(shape, 0).to_string(), "0122");
+  // Last lexicographic arrangement: 2210.
+  EXPECT_EQ(IndexPermutation::unrank(shape, shape.num_states() - 1).to_string(),
+            "2210");
+}
+
+TEST(IndexPermutation, FromSymbolsValidates) {
+  const IpgShape shape({1, 2});
+  EXPECT_NO_THROW(IndexPermutation::from_symbols(shape, {1, 0, 1}));
+  EXPECT_THROW(IndexPermutation::from_symbols(shape, {1, 1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(IndexPermutation::from_symbols(shape, {0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(IndexPermutation::from_symbols(shape, {0, 1, 2}),
+               std::invalid_argument);
+}
+
+TEST(IndexPermutation, GeneratorsActOnPositions) {
+  const IpgShape shape({1, 2, 2, 2});
+  const IndexPermutation goal = IndexPermutation::sorted(shape);  // 0112233
+  EXPECT_EQ(goal.apply(transposition(2)).to_string(), "1012233");
+  EXPECT_EQ(goal.apply(swap_boxes(2, 2)).to_string(), "0221133");
+  EXPECT_EQ(goal.apply(rotation(1, 2)).to_string(), "0331122");
+}
+
+TEST(SuperIpStar, NeighborsSkipSelfLoops) {
+  const IpgSpec net = make_super_ip_star(3, 2);
+  const IpgView view{&net};
+  // State 1102233: T2 would swap the two leading color-1 balls — a
+  // self-loop, which the view must suppress.
+  const IndexPermutation u =
+      IndexPermutation::from_symbols(net.shape, {1, 1, 0, 2, 2, 3, 3});
+  std::set<std::uint64_t> nbrs;
+  const std::uint64_t r = u.rank(net.shape);
+  view.for_each_neighbor(r, [&](std::uint64_t v, int) {
+    EXPECT_NE(v, r);
+    nbrs.insert(v);
+  });
+  // T3, S2, S3 act nontrivially; T2 self-loops: 3 distinct neighbors.
+  EXPECT_EQ(nbrs.size(), 3u);
+}
+
+TEST(SuperIpStar, ConnectedAndSmallDiameter) {
+  const IpgSpec net = make_super_ip_star(3, 2);  // 630 states
+  const DistanceStats s = ipg_distance_stats(net);
+  EXPECT_TRUE(s.all_reachable());
+  const AllPairsStats ap = ipg_all_pairs_stats(net);
+  EXPECT_TRUE(ap.connected);
+  EXPECT_GE(ap.diameter, s.eccentricity);
+  // The IPG collapses nucleus detail: its diameter (11, measured) is below
+  // the distinct-ball MS(3,2) diameter of 13.
+  EXPECT_EQ(ap.diameter, 11);
+}
+
+TEST(SuperIpSolver, SolvesEveryStateSwap) {
+  const IpgSpec net = make_super_ip_star(3, 2);
+  int worst = 0;
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    const IndexPermutation start = IndexPermutation::unrank(net.shape, r);
+    const auto word = solve_ipg(net, start);
+    ASSERT_EQ(check_ipg_word(net, start, word), "") << start.to_string();
+    worst = std::max(worst, static_cast<int>(word.size()));
+  }
+  // Color-level Balls-to-Boxes is much shorter than the distinct-ball
+  // bound of 20 for (3,2).
+  EXPECT_LE(worst, balls_to_boxes_step_bound(3, 2));
+}
+
+TEST(SuperIpSolver, SolvesEveryStateRotation) {
+  const IpgSpec net = make_super_ip_complete_rotation(3, 2);
+  int worst = 0;
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    const IndexPermutation start = IndexPermutation::unrank(net.shape, r);
+    const auto word = solve_ipg(net, start);
+    ASSERT_EQ(check_ipg_word(net, start, word), "") << start.to_string();
+    worst = std::max(worst, static_cast<int>(word.size()));
+  }
+  EXPECT_LE(worst, complete_rotation_star_step_bound(3, 2));
+}
+
+TEST(SuperIp, SolverAtLeastBfsDistance) {
+  const IpgSpec net = make_super_ip_star(3, 2);
+  const IpgView view{&net};
+  // BFS *to* the goal == BFS from the goal (generator set is involutive:
+  // T's and S's).
+  const auto dist = bfs_distances(view, net.goal().rank(net.shape));
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    const IndexPermutation start = IndexPermutation::unrank(net.shape, r);
+    EXPECT_GE(solve_ipg(net, start).size(), dist[r]) << start.to_string();
+  }
+}
+
+TEST(SuperIp, MatchesInterclusterDiameterOfSuperCayley) {
+  // The paper's Section 4.3 point, verified: contracting each cluster of
+  // MS(l,n) (= forgetting within-nucleus arrangement... and intra-box ball
+  // identity) yields the IPG, whose diameter counts box-level moves.  The
+  // super Cayley *intercluster* diameter counts only super moves, so it is
+  // a lower bound on the IPG diameter; both are tiny compared to the full
+  // diameter.
+  const NetworkSpec ms = make_macro_star(3, 2);
+  const DistanceStats ic = intercluster_distance_stats(ms);
+  const IpgSpec sip = make_super_ip_star(3, 2);
+  const AllPairsStats ap = ipg_all_pairs_stats(sip);
+  EXPECT_GE(ap.diameter, ic.eccentricity);
+  EXPECT_LT(ap.diameter, network_distance_stats(ms, false).eccentricity);
+}
+
+TEST(SuperIp, LargerInstanceSampled) {
+  const IpgSpec net = make_super_ip_complete_rotation(4, 2);  // 9!/16 = 22680
+  EXPECT_EQ(net.num_nodes(), 22680u);
+  std::mt19937_64 rng(3);
+  std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const IndexPermutation start =
+        IndexPermutation::unrank(net.shape, pick(rng));
+    const auto word = solve_ipg(net, start);
+    ASSERT_EQ(check_ipg_word(net, start, word), "") << start.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace scg

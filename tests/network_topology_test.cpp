@@ -1,0 +1,207 @@
+// Topological properties of the network classes: connectivity, symmetry,
+// regularity, the special-case isomorphisms the paper states, and exact
+// diameters vs the theorem bounds.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analysis/formulas.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+std::vector<NetworkSpec> small_instances() {
+  std::vector<NetworkSpec> nets = all_super_cayley(2, 2);   // k = 5
+  std::vector<NetworkSpec> more = all_super_cayley(3, 2);   // k = 7
+  nets.insert(nets.end(), more.begin(), more.end());
+  nets.push_back(make_star_graph(6));
+  nets.push_back(make_rotator_graph(6));
+  nets.push_back(make_bubble_sort_graph(6));
+  nets.push_back(make_transposition_network(5));
+  return nets;
+}
+
+TEST(Connectivity, EveryNetworkIsStronglyConnected) {
+  for (const NetworkSpec& net : small_instances()) {
+    EXPECT_TRUE(strongly_connected(net)) << net.name;
+  }
+}
+
+TEST(VertexSymmetry, DistanceProfileIndependentOfSource) {
+  // Cayley graphs are vertex-symmetric (Section 3.2): the whole distance
+  // histogram must be the same from any source.
+  std::mt19937_64 rng(17);
+  for (const NetworkSpec& net : all_super_cayley(2, 2)) {
+    const CayleyView view{&net};
+    const DistanceStats base =
+        summarize(bfs_distances(view, Permutation::identity(net.k()).rank()));
+    std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+    for (int trial = 0; trial < 3; ++trial) {
+      const DistanceStats other = summarize(bfs_distances(view, pick(rng)));
+      EXPECT_EQ(other.histogram, base.histogram) << net.name;
+    }
+  }
+}
+
+TEST(Undirectedness, EveryLinkHasAReverseLink) {
+  for (const NetworkSpec& net : small_instances()) {
+    if (net.directed) continue;
+    const Graph g = materialize(net);
+    bool symmetric = true;
+    for (std::uint64_t u = 0; u < g.num_nodes() && symmetric; ++u) {
+      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+        if (g.find_arc(v, u) == g.num_links()) symmetric = false;
+      });
+    }
+    EXPECT_TRUE(symmetric) << net.name;
+  }
+}
+
+TEST(Regularity, MaterializedGraphsAreRegular) {
+  for (const NetworkSpec& net : small_instances()) {
+    const Graph g = materialize(net);
+    EXPECT_TRUE(g.regular()) << net.name;
+    EXPECT_EQ(g.max_degree(), static_cast<std::uint64_t>(net.degree()))
+        << net.name;
+    EXPECT_EQ(g.num_nodes(), net.num_nodes()) << net.name;
+  }
+}
+
+TEST(Diameter, WithinTheoremBoundEverywhere) {
+  for (const NetworkSpec& net : small_instances()) {
+    const DistanceStats s = network_distance_stats(net, /*parallel=*/false);
+    EXPECT_TRUE(s.all_reachable()) << net.name;
+    EXPECT_LE(s.eccentricity, diameter_upper_bound(net.family, net.l, net.n))
+        << net.name;
+  }
+}
+
+TEST(Diameter, StarGraphExactFormula) {
+  // The k-star's diameter is exactly floor(3(k-1)/2) [1,2].
+  for (int k = 3; k <= 8; ++k) {
+    const DistanceStats s = network_distance_stats(make_star_graph(k), false);
+    EXPECT_EQ(s.eccentricity, (3 * (k - 1)) / 2) << "k=" << k;
+  }
+}
+
+TEST(Diameter, RotatorGraphExactFormula) {
+  // The k-rotator's diameter is exactly k-1 (Corbett [9]).
+  for (int k = 3; k <= 8; ++k) {
+    const DistanceStats s = network_distance_stats(make_rotator_graph(k), false);
+    EXPECT_EQ(s.eccentricity, k - 1) << "k=" << k;
+  }
+}
+
+TEST(Diameter, BubbleSortExactFormula) {
+  // Bubble-sort graph: diameter = max inversions = k(k-1)/2.
+  for (int k = 3; k <= 7; ++k) {
+    const DistanceStats s =
+        network_distance_stats(make_bubble_sort_graph(k), false);
+    EXPECT_EQ(s.eccentricity, k * (k - 1) / 2) << "k=" << k;
+  }
+}
+
+TEST(Diameter, TranspositionNetworkExactFormula) {
+  // Distance = k - #cycles; diameter = k - 1 (a single k-cycle).
+  for (int k = 3; k <= 7; ++k) {
+    const DistanceStats s =
+        network_distance_stats(make_transposition_network(k), false);
+    EXPECT_EQ(s.eccentricity, k - 1) << "k=" << k;
+  }
+}
+
+TEST(SpecialCases, OneBoxFamiliesCollapseToClassicGraphs) {
+  // MS(1,n) has generators T2..T{n+1}: the (n+1)-star itself.
+  EXPECT_EQ(make_macro_star(1, 4).generators, make_star_graph(5).generators);
+  // MR(1,n) has generators I2..I{n+1}: the (n+1)-rotator.
+  EXPECT_EQ(make_macro_rotator(1, 4).generators,
+            make_rotator_graph(5).generators);
+  // MIS(1,n) is the (n+1)-IS network.
+  EXPECT_EQ(make_macro_is(1, 4).generators,
+            make_insertion_selection(5).generators);
+}
+
+TEST(SpecialCases, MacroStarWithUnitBoxesMatchesStarProfile) {
+  // Section 3.3: "For n = 1, the macro-star MS(l,1) ... identical to an
+  // (l+1)-star graph" — the generator sets differ but the graphs are
+  // isomorphic; we verify the full distance histogram and degree agree.
+  for (int l = 3; l <= 5; ++l) {
+    const NetworkSpec ms = make_macro_star(l, 1);
+    const NetworkSpec star = make_star_graph(l + 1);
+    EXPECT_EQ(ms.degree(), star.degree());
+    const DistanceStats a = network_distance_stats(ms, false);
+    const DistanceStats b = network_distance_stats(star, false);
+    EXPECT_EQ(a.histogram, b.histogram) << "l=" << l;
+  }
+}
+
+TEST(SpecialCases, MacroISWithUnitBoxesMatchesStarProfile) {
+  // MIS(l,1): I2 == T2 plus swaps — also isomorphic to the (l+1)-star.
+  for (int l = 3; l <= 5; ++l) {
+    const NetworkSpec mis = make_macro_is(l, 1);
+    const NetworkSpec star = make_star_graph(l + 1);
+    EXPECT_EQ(mis.degree(), star.degree());
+    const DistanceStats a = network_distance_stats(mis, false);
+    const DistanceStats b = network_distance_stats(star, false);
+    EXPECT_EQ(a.histogram, b.histogram) << "l=" << l;
+  }
+}
+
+TEST(Intercluster, DiameterAtMostPlainDiameter) {
+  for (const NetworkSpec& net : small_instances()) {
+    if (net.intercluster_degree() == 0) continue;
+    const DistanceStats ic = intercluster_distance_stats(net);
+    const DistanceStats full = network_distance_stats(net, false);
+    EXPECT_TRUE(ic.all_reachable()) << net.name;
+    EXPECT_LE(ic.eccentricity, full.eccentricity) << net.name;
+    EXPECT_LE(ic.average, full.average) << net.name;
+  }
+}
+
+TEST(Intercluster, ZeroWithinACluster) {
+  const NetworkSpec net = make_macro_star(3, 2);
+  const CayleyView view{&net};
+  const std::uint64_t src = Permutation::identity(net.k()).rank();
+  const auto dist = zero_one_bfs(view, src, [&](std::int32_t tag) {
+    return !is_nucleus(net.generators[static_cast<std::size_t>(tag)].kind);
+  });
+  const std::uint64_t my_cluster = net.cluster_of(Permutation::identity(net.k()));
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    const Permutation u = Permutation::unrank(net.k(), r);
+    if (net.cluster_of(u) == my_cluster) {
+      EXPECT_EQ(dist[r], 0) << u.to_string();
+    } else {
+      EXPECT_GT(dist[r], 0) << u.to_string();
+    }
+  }
+}
+
+TEST(DirectedDiameter, ForwardAndReverseEccentricityAgreeOnCayley) {
+  // For a vertex-symmetric digraph, max_u d(e,u) == max_u d(u,e).
+  for (const NetworkSpec& net :
+       {make_macro_rotator(3, 2), make_rotation_rotator(3, 2)}) {
+    const CayleyView fwd{&net};
+    const ReverseCayleyView rev(net);
+    const std::uint64_t src = Permutation::identity(net.k()).rank();
+    const DistanceStats a = summarize(bfs_distances(fwd, src));
+    const DistanceStats b = summarize(bfs_distances(rev, src));
+    EXPECT_EQ(a.eccentricity, b.eccentricity) << net.name;
+    EXPECT_DOUBLE_EQ(a.average, b.average) << net.name;
+  }
+}
+
+TEST(Histograms, SumToNodeCount) {
+  for (const NetworkSpec& net : all_super_cayley(2, 2)) {
+    const DistanceStats s = network_distance_stats(net, false);
+    std::uint64_t total = 0;
+    for (const std::uint64_t h : s.histogram) total += h;
+    EXPECT_EQ(total, net.num_nodes()) << net.name;
+    EXPECT_EQ(s.histogram[0], 1u) << net.name;  // only the source at d = 0
+    EXPECT_EQ(s.histogram[1], static_cast<std::uint64_t>(net.degree()))
+        << net.name;  // distinct generators => distinct neighbors
+  }
+}
+
+}  // namespace
+}  // namespace scg

@@ -1,0 +1,82 @@
+// Pancake-graph baseline (prefix reversals, cited as the star graph's
+// companion in [3]): generators, router, and known properties.
+#include <gtest/gtest.h>
+
+#include "analysis/formulas.hpp"
+#include "networks/router.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+TEST(Reversal, FlipsPrefix) {
+  EXPECT_EQ(reversal(2).applied(Permutation::parse("123456")),
+            Permutation::parse("213456"));
+  EXPECT_EQ(reversal(4).applied(Permutation::parse("123456")),
+            Permutation::parse("432156"));
+  EXPECT_EQ(reversal(6).applied(Permutation::parse("123456")),
+            Permutation::parse("654321"));
+  EXPECT_TRUE(reversal(4).is_involution());
+  EXPECT_EQ(reversal(4).name(), "F4");
+  EXPECT_THROW(reversal(1), std::invalid_argument);
+}
+
+TEST(Pancake, SpecBasics) {
+  const NetworkSpec net = make_pancake_graph(6);
+  EXPECT_EQ(net.degree(), 5);
+  EXPECT_FALSE(net.directed);
+  EXPECT_EQ(net.name, "pancake(6)");
+  EXPECT_EQ(closed_form_degree(Family::kPancake, 1, 5), 5);
+  EXPECT_EQ(diameter_upper_bound(Family::kPancake, 1, 5), 10);
+}
+
+TEST(Pancake, ConnectedAndSymmetric) {
+  const NetworkSpec net = make_pancake_graph(5);
+  EXPECT_TRUE(strongly_connected(net));
+  const DistanceStats s = network_distance_stats(net, false);
+  EXPECT_TRUE(s.all_reachable());
+  // Known exact pancake diameters: P4 = 4, P5 = 5, P6 = 7, P7 = 8.
+  EXPECT_EQ(s.eccentricity, 5);
+  EXPECT_EQ(network_distance_stats(make_pancake_graph(4), false).eccentricity, 4);
+  EXPECT_EQ(network_distance_stats(make_pancake_graph(6), false).eccentricity, 7);
+  EXPECT_EQ(network_distance_stats(make_pancake_graph(7), false).eccentricity, 8);
+}
+
+TEST(Pancake, GreedyRouterSolvesWithinTwoKMinusOne) {
+  const NetworkSpec net = make_pancake_graph(6);
+  const Permutation target = Permutation::identity(6);
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    const Permutation u = Permutation::unrank(6, r);
+    const auto word = route(net, u, target);
+    ASSERT_EQ(check_route(net, u, target, word), "") << u.to_string();
+    ASSERT_LE(static_cast<int>(word.size()), 2 * (6 - 1)) << u.to_string();
+  }
+}
+
+TEST(Pancake, RouterNeverBeatsBfs) {
+  const NetworkSpec net = make_pancake_graph(6);
+  const CayleyView view{&net};
+  const std::uint64_t id = Permutation::identity(6).rank();
+  const auto dist = bfs_distances(view, id);
+  const Permutation target = Permutation::identity(6);
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    EXPECT_GE(route_length(net, Permutation::unrank(6, r), target), dist[r]);
+  }
+}
+
+TEST(Pancake, StarHasSmallerDiameterAtSameDegree) {
+  // The paper's star-graph advantage carries over baselines: at equal k the
+  // star and pancake have the same degree; diameters are close (star
+  // floor(3(k-1)/2) vs pancake's smaller empirical values at small k).
+  const int k = 6;
+  const int star_diam =
+      network_distance_stats(make_star_graph(k), false).eccentricity;
+  const int pancake_diam =
+      network_distance_stats(make_pancake_graph(k), false).eccentricity;
+  EXPECT_EQ(make_star_graph(k).degree(), make_pancake_graph(k).degree());
+  EXPECT_EQ(star_diam, 7);
+  EXPECT_EQ(pancake_diam, 7);
+}
+
+}  // namespace
+}  // namespace scg

@@ -1,0 +1,132 @@
+// Thread pool and parallel-for: coverage, determinism, reductions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace scg {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { ++count; });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  parallel_for_chunks(
+      hits.size(),
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) ++hits[i];
+      },
+      /*grain=*/128, &pool);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeDoesNothing) {
+  bool called = false;
+  parallel_for_chunks(0, [&](std::uint64_t, std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  int calls = 0;
+  parallel_for_chunks(
+      10, [&](std::uint64_t lo, std::uint64_t hi) {
+        ++calls;
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 10u);
+      },
+      /*grain=*/100, &pool);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForIndexed, ChunksAreDisjointAndComplete) {
+  ThreadPool pool(4);
+  std::vector<std::vector<std::uint64_t>> buffers;
+  parallel_for_chunks_indexed(
+      5000, [&](std::uint64_t chunks) { buffers.resize(chunks); },
+      [&](std::uint64_t lo, std::uint64_t hi, std::uint64_t chunk) {
+        for (std::uint64_t i = lo; i < hi; ++i) buffers[chunk].push_back(i);
+      },
+      /*grain=*/64, &pool);
+  std::vector<std::uint64_t> all;
+  for (const auto& b : buffers) all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 5000u);
+  for (std::uint64_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  const std::uint64_t n = 100000;
+  const std::uint64_t sum = parallel_reduce<std::uint64_t>(
+      n, 0,
+      [](std::uint64_t lo, std::uint64_t hi) {
+        std::uint64_t s = 0;
+        for (std::uint64_t i = lo; i < hi; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      /*grain=*/512, &pool);
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, MaxReduction) {
+  ThreadPool pool(2);
+  std::vector<int> data(5000);
+  std::iota(data.begin(), data.end(), -2500);
+  const int mx = parallel_reduce<int>(
+      data.size(), INT_MIN,
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        int m = INT_MIN;
+        for (std::uint64_t i = lo; i < hi; ++i) m = std::max(m, data[i]);
+        return m;
+      },
+      [](int a, int b) { return std::max(a, b); }, /*grain=*/128, &pool);
+  EXPECT_EQ(mx, 2499);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  const int v = parallel_reduce<int>(
+      0, 42, [](std::uint64_t, std::uint64_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(v, 42);
+}
+
+}  // namespace
+}  // namespace scg

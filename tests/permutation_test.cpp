@@ -1,0 +1,126 @@
+#include "core/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace scg {
+namespace {
+
+TEST(Factorial, SmallValues) {
+  EXPECT_EQ(factorial(0), 1u);
+  EXPECT_EQ(factorial(1), 1u);
+  EXPECT_EQ(factorial(5), 120u);
+  EXPECT_EQ(factorial(10), 3628800u);
+  EXPECT_EQ(factorial(13), 6227020800u);
+  EXPECT_EQ(factorial(20), 2432902008176640000u);
+}
+
+TEST(Permutation, IdentityBasics) {
+  const Permutation id = Permutation::identity(7);
+  EXPECT_EQ(id.size(), 7);
+  EXPECT_TRUE(id.is_identity());
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(id[i], i + 1);
+  EXPECT_EQ(id.at_position(1), 1);
+  EXPECT_EQ(id.at_position(7), 7);
+  EXPECT_EQ(id.to_string(), "1234567");
+}
+
+TEST(Permutation, ParseMatchesFromSymbols) {
+  const Permutation a = Permutation::parse("5342671");
+  const Permutation b = Permutation::from_symbols({5, 3, 4, 2, 6, 7, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_string(), "5342671");
+  EXPECT_FALSE(a.is_identity());
+}
+
+TEST(Permutation, ParseRejectsBadInput) {
+  EXPECT_THROW(Permutation::parse(""), std::invalid_argument);
+  EXPECT_THROW(Permutation::parse("120"), std::invalid_argument);   // '0'
+  EXPECT_THROW(Permutation::parse("11"), std::invalid_argument);    // repeat
+  EXPECT_THROW(Permutation::parse("13"), std::invalid_argument);    // not 1..k
+}
+
+TEST(Permutation, FromSymbolsValidates) {
+  EXPECT_THROW(Permutation::from_symbols({1, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(Permutation::from_symbols({0, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation::from_symbols({3, 4, 5}), std::invalid_argument);
+}
+
+TEST(Permutation, IndexOf) {
+  const Permutation p = Permutation::parse("3142");
+  EXPECT_EQ(p.index_of(3), 0);
+  EXPECT_EQ(p.index_of(1), 1);
+  EXPECT_EQ(p.index_of(4), 2);
+  EXPECT_EQ(p.index_of(2), 3);
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  std::mt19937_64 rng(7);
+  for (int k = 2; k <= 12; ++k) {
+    for (int trial = 0; trial < 20; ++trial) {
+      std::uniform_int_distribution<std::uint64_t> pick(0, factorial(k) - 1);
+      const Permutation p = Permutation::unrank(k, pick(rng));
+      EXPECT_TRUE(p.compose_positions(p.inverse()).is_identity());
+      EXPECT_TRUE(p.inverse().compose_positions(p).is_identity());
+      EXPECT_TRUE(p.relabel_symbols(p.inverse()).is_identity());
+    }
+  }
+}
+
+TEST(Permutation, RankUnrankRoundTripExhaustiveSmallK) {
+  for (int k = 1; k <= 7; ++k) {
+    std::set<Permutation> seen;
+    for (std::uint64_t r = 0; r < factorial(k); ++r) {
+      const Permutation p = Permutation::unrank(k, r);
+      EXPECT_EQ(p.rank(), r) << "k=" << k << " r=" << r;
+      EXPECT_TRUE(seen.insert(p).second) << "duplicate unrank image";
+    }
+    EXPECT_EQ(seen.size(), factorial(k));
+  }
+}
+
+TEST(Permutation, RankUnrankRoundTripSampledLargeK) {
+  std::mt19937_64 rng(11);
+  for (int k = 8; k <= 14; ++k) {
+    std::uniform_int_distribution<std::uint64_t> pick(0, factorial(k) - 1);
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::uint64_t r = pick(rng);
+      EXPECT_EQ(Permutation::unrank(k, r).rank(), r) << "k=" << k;
+    }
+  }
+}
+
+TEST(Permutation, RelabelSymbolsReducesRoutingToSorting) {
+  // w = v^{-1} ∘ u must be the identity iff u == v.
+  const Permutation u = Permutation::parse("45312");
+  EXPECT_TRUE(u.relabel_symbols(u.inverse()).is_identity());
+  const Permutation v = Permutation::parse("21543");
+  const Permutation w = u.relabel_symbols(v.inverse());
+  EXPECT_FALSE(w.is_identity());
+  // Applying v to w's symbol positions recovers u.
+  EXPECT_EQ(w.relabel_symbols(v), u);
+}
+
+TEST(Permutation, ComposePositionsAgreesWithDirectApplication) {
+  const Permutation u = Permutation::parse("45312");
+  const Permutation g = Permutation::parse("21345");  // swap first two positions
+  const Permutation w = u.compose_positions(g);
+  EXPECT_EQ(w.to_string(), "54312");
+}
+
+TEST(Permutation, OrderingIsLexicographic) {
+  EXPECT_LT(Permutation::parse("123"), Permutation::parse("132"));
+  EXPECT_LT(Permutation::parse("12"), Permutation::parse("123"));
+  EXPECT_FALSE(Permutation::parse("321") < Permutation::parse("123"));
+}
+
+TEST(Permutation, ToStringLargeK) {
+  const Permutation p = Permutation::identity(12);
+  EXPECT_EQ(p.to_string(), "1,2,3,4,5,6,7,8,9,10,11,12");
+}
+
+}  // namespace
+}  // namespace scg

@@ -1,0 +1,233 @@
+// Property tests for the game solvers: every solver must (a) reach the
+// identity, (b) use only permissible moves, (c) respect its step bound.
+// Exhaustive over all k! start states for small instances; sampled above.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/bag.hpp"
+#include "networks/super_cayley.hpp"
+
+namespace scg {
+namespace {
+
+struct GameCase {
+  int l;
+  int n;
+  BoxMoveStyle style;
+  bool insertion;  // insertion game vs transposition game
+};
+
+std::string case_name(const testing::TestParamInfo<GameCase>& info) {
+  const GameCase& c = info.param;
+  std::string s = c.insertion ? "ins" : "tra";
+  switch (c.style) {
+    case BoxMoveStyle::kSwap: s += "Swap"; break;
+    case BoxMoveStyle::kCompleteRotation: s += "CRot"; break;
+    case BoxMoveStyle::kBidirectionalRotation: s += "BRot"; break;
+    case BoxMoveStyle::kForwardRotation: s += "FRot"; break;
+  }
+  return s + "_l" + std::to_string(c.l) + "_n" + std::to_string(c.n);
+}
+
+std::vector<Generator> run_solver(const GameCase& c, const Permutation& start) {
+  return c.insertion ? solve_insertion_game(start, c.l, c.n, c.style)
+                     : solve_transposition_game(start, c.l, c.n, c.style);
+}
+
+int bound_of(const GameCase& c) {
+  if (c.insertion) return insertion_game_step_bound(c.l, c.n, c.style);
+  switch (c.style) {
+    case BoxMoveStyle::kSwap:
+      return balls_to_boxes_step_bound(c.l, c.n);
+    case BoxMoveStyle::kCompleteRotation:
+      return complete_rotation_star_step_bound(c.l, c.n);
+    case BoxMoveStyle::kBidirectionalRotation:
+    case BoxMoveStyle::kForwardRotation:
+      // Conservative: every ball phase may cost a full fetch.
+      return ((5 * c.n * c.l) / 2 + c.l - 1) * (1 + c.l) + c.l;
+  }
+  return 0;
+}
+
+/// The moves the corresponding network permits.
+GameRules rules_of(const GameCase& c) {
+  GameRules r;
+  r.l = c.l;
+  r.n = c.n;
+  const int top = c.n + 1;
+  if (c.insertion) {
+    for (int i = 2; i <= top; ++i) r.moves.push_back(insertion(i));
+  } else {
+    for (int i = 2; i <= top; ++i) r.moves.push_back(transposition(i));
+  }
+  switch (c.style) {
+    case BoxMoveStyle::kSwap:
+      for (int i = 2; i <= c.l; ++i) r.moves.push_back(swap_boxes(i, c.n));
+      break;
+    case BoxMoveStyle::kCompleteRotation:
+      for (int i = 1; i < c.l; ++i) r.moves.push_back(rotation(i, c.n));
+      break;
+    case BoxMoveStyle::kBidirectionalRotation:
+      r.moves.push_back(rotation(1, c.n));
+      if (c.l > 2) r.moves.push_back(rotation(c.l - 1, c.n));
+      break;
+    case BoxMoveStyle::kForwardRotation:
+      r.moves.push_back(rotation(1, c.n));
+      break;
+  }
+  return r;
+}
+
+class SolverExhaustive : public testing::TestWithParam<GameCase> {};
+
+TEST_P(SolverExhaustive, SolvesEveryStartWithinBound) {
+  const GameCase c = GetParam();
+  const int k = c.n * c.l + 1;
+  ASSERT_LE(factorial(k), 45000u) << "case too large for exhaustive sweep";
+  const GameRules rules = rules_of(c);
+  const int bound = bound_of(c);
+  int worst = 0;
+  for (std::uint64_t r = 0; r < factorial(k); ++r) {
+    const Permutation start = Permutation::unrank(k, r);
+    const std::vector<Generator> word = run_solver(c, start);
+    const GameTrace trace = make_trace(start, word);
+    ASSERT_TRUE(trace.final_state().is_identity())
+        << "start " << start.to_string() << " not solved";
+    ASSERT_EQ(validate_trace(rules, trace), "") << "start " << start.to_string();
+    ASSERT_LE(static_cast<int>(word.size()), bound)
+        << "start " << start.to_string() << " exceeded bound";
+    worst = std::max(worst, static_cast<int>(word.size()));
+  }
+  // The bound must be achieved within a reasonable margin — a wildly loose
+  // measured maximum would indicate the solver is not the intended one.
+  EXPECT_GT(worst, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TranspositionGames, SolverExhaustive,
+    testing::Values(GameCase{1, 4, BoxMoveStyle::kSwap, false},        // 5-star
+                    GameCase{2, 2, BoxMoveStyle::kSwap, false},        // MS(2,2)
+                    GameCase{2, 3, BoxMoveStyle::kSwap, false},        // MS(2,3)
+                    GameCase{3, 2, BoxMoveStyle::kSwap, false},        // MS(3,2)
+                    GameCase{2, 2, BoxMoveStyle::kCompleteRotation, false},
+                    GameCase{3, 2, BoxMoveStyle::kCompleteRotation, false},
+                    GameCase{2, 3, BoxMoveStyle::kCompleteRotation, false},
+                    GameCase{3, 2, BoxMoveStyle::kBidirectionalRotation, false},
+                    GameCase{2, 3, BoxMoveStyle::kBidirectionalRotation, false},
+                    GameCase{3, 2, BoxMoveStyle::kForwardRotation, false},
+                    GameCase{7, 1, BoxMoveStyle::kSwap, false},       // MS(7,1), k=8
+                    GameCase{7, 1, BoxMoveStyle::kCompleteRotation, false},
+                    GameCase{1, 7, BoxMoveStyle::kSwap, false}),      // 8-star
+    case_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    InsertionGames, SolverExhaustive,
+    testing::Values(GameCase{1, 4, BoxMoveStyle::kSwap, true},  // 5-rotator/IS
+                    GameCase{1, 6, BoxMoveStyle::kSwap, true},  // 7-rotator/IS
+                    GameCase{2, 2, BoxMoveStyle::kSwap, true},  // MR/MIS(2,2)
+                    GameCase{2, 3, BoxMoveStyle::kSwap, true},
+                    GameCase{3, 2, BoxMoveStyle::kSwap, true},
+                    GameCase{2, 2, BoxMoveStyle::kCompleteRotation, true},
+                    GameCase{3, 2, BoxMoveStyle::kCompleteRotation, true},
+                    GameCase{2, 3, BoxMoveStyle::kCompleteRotation, true},
+                    GameCase{3, 2, BoxMoveStyle::kBidirectionalRotation, true},
+                    GameCase{3, 2, BoxMoveStyle::kForwardRotation, true},
+                    GameCase{2, 3, BoxMoveStyle::kForwardRotation, true},
+                    GameCase{7, 1, BoxMoveStyle::kSwap, true},        // MR(7,1)
+                    GameCase{7, 1, BoxMoveStyle::kCompleteRotation, true},
+                    GameCase{1, 7, BoxMoveStyle::kSwap, true}),       // 8-rotator
+    case_name);
+
+class SolverSampled : public testing::TestWithParam<GameCase> {};
+
+TEST_P(SolverSampled, SolvesRandomStartsWithinBound) {
+  const GameCase c = GetParam();
+  const int k = c.n * c.l + 1;
+  const GameRules rules = rules_of(c);
+  const int bound = bound_of(c);
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::uint64_t> pick(0, factorial(k) - 1);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Permutation start = Permutation::unrank(k, pick(rng));
+    const std::vector<Generator> word = run_solver(c, start);
+    const GameTrace trace = make_trace(start, word);
+    ASSERT_TRUE(trace.final_state().is_identity()) << start.to_string();
+    ASSERT_EQ(validate_trace(rules, trace), "") << start.to_string();
+    ASSERT_LE(static_cast<int>(word.size()), bound) << start.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LargerInstances, SolverSampled,
+    testing::Values(GameCase{3, 3, BoxMoveStyle::kSwap, false},   // MS(3,3), k=10
+                    GameCase{4, 2, BoxMoveStyle::kSwap, false},   // MS(4,2), k=9
+                    GameCase{2, 4, BoxMoveStyle::kSwap, false},   // MS(2,4), k=9
+                    GameCase{3, 3, BoxMoveStyle::kCompleteRotation, false},
+                    GameCase{4, 2, BoxMoveStyle::kCompleteRotation, false},
+                    GameCase{4, 2, BoxMoveStyle::kBidirectionalRotation, false},
+                    GameCase{1, 9, BoxMoveStyle::kSwap, false},   // 10-star
+                    GameCase{3, 3, BoxMoveStyle::kSwap, true},
+                    GameCase{2, 4, BoxMoveStyle::kSwap, true},
+                    GameCase{4, 2, BoxMoveStyle::kCompleteRotation, true},
+                    GameCase{4, 2, BoxMoveStyle::kForwardRotation, true},
+                    GameCase{1, 9, BoxMoveStyle::kSwap, true},    // 10-rotator
+                    GameCase{5, 2, BoxMoveStyle::kBidirectionalRotation, true}),
+    case_name);
+
+TEST(OneBoxInsertion, SortsWithinKMinusOne) {
+  // Paper Section 2.3: the one-box game needs at most k-1 steps.
+  for (int k = 2; k <= 7; ++k) {
+    for (std::uint64_t r = 0; r < factorial(k); ++r) {
+      const Permutation start = Permutation::unrank(k, r);
+      const std::vector<Generator> word = solve_one_box_insertion(start);
+      EXPECT_TRUE(apply_word(start, word).is_identity());
+      EXPECT_LE(static_cast<int>(word.size()), k - 1) << start.to_string();
+      for (const Generator& g : word) {
+        EXPECT_EQ(g.kind, GenKind::kInsertion);
+        EXPECT_LE(g.i, k);
+      }
+    }
+  }
+}
+
+TEST(Solvers, IdentityNeedsZeroSteps) {
+  const Permutation id = Permutation::identity(7);
+  EXPECT_TRUE(solve_transposition_game(id, 3, 2, BoxMoveStyle::kSwap).empty());
+  EXPECT_TRUE(solve_transposition_game(id, 2, 3, BoxMoveStyle::kCompleteRotation).empty());
+  EXPECT_TRUE(solve_insertion_game(id, 3, 2, BoxMoveStyle::kSwap).empty());
+  EXPECT_TRUE(solve_one_box_insertion(id).empty());
+}
+
+TEST(Solvers, NucleusNeighborSolvedInOneStep) {
+  // A state one nucleus move away from the identity is solved in one step.
+  const Permutation id = Permutation::identity(7);
+  {
+    const Permutation s = transposition(2).applied(id);
+    const auto word = solve_transposition_game(s, 3, 2, BoxMoveStyle::kSwap);
+    ASSERT_EQ(word.size(), 1u);
+    EXPECT_EQ(word[0], transposition(2));
+  }
+  {
+    const Permutation s = selection(3).applied(id);  // one insertion fixes it
+    const auto word = solve_insertion_game(s, 3, 2, BoxMoveStyle::kSwap);
+    ASSERT_EQ(word.size(), 1u);
+    EXPECT_EQ(word[0], insertion(3));
+  }
+}
+
+TEST(Solvers, RotatedStateSolvedByRotationsAlone) {
+  // If the state is a pure box rotation of the identity, rotation-style
+  // solvers with offset freedom fix it with rotations only (the Figure 3
+  // color-assignment insight).
+  const Permutation id = Permutation::identity(7);
+  const Permutation s = rotation(1, 2).applied(id);
+  const auto word =
+      solve_transposition_game(s, 3, 2, BoxMoveStyle::kCompleteRotation);
+  ASSERT_EQ(word.size(), 1u);
+  EXPECT_EQ(word[0].kind, GenKind::kRotation);
+  EXPECT_TRUE(apply_word(s, word).is_identity());
+}
+
+}  // namespace
+}  // namespace scg

@@ -1,0 +1,200 @@
+// Graph container, BFS variants and the baseline network constructors.
+#include <gtest/gtest.h>
+
+#include "topology/baselines.hpp"
+#include "topology/bfs.hpp"
+#include "topology/graph.hpp"
+#include "topology/metrics.hpp"
+
+namespace scg {
+namespace {
+
+TEST(Graph, BuildUndirectedStoresBothArcs) {
+  const Graph g = Graph::build(3, false, {{0, 1, 7}, {1, 2, 8}});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_links(), 4u);
+  EXPECT_EQ(g.out_degree(1), 2u);
+  EXPECT_NE(g.find_arc(1, 0), g.num_links());
+  EXPECT_NE(g.find_arc(0, 1), g.num_links());
+  EXPECT_EQ(g.find_arc(0, 2), g.num_links());
+  EXPECT_EQ(g.arc_tag(g.find_arc(0, 1)), 7);
+}
+
+TEST(Graph, BuildDirectedStoresOneArc) {
+  const Graph g = Graph::build(3, true, {{0, 1, 0}, {1, 2, 0}});
+  EXPECT_EQ(g.num_links(), 2u);
+  EXPECT_NE(g.find_arc(0, 1), g.num_links());
+  EXPECT_EQ(g.find_arc(1, 0), g.num_links());
+}
+
+TEST(Graph, ReversedFlipsArcs) {
+  const Graph g = Graph::build(3, true, {{0, 1, 5}, {1, 2, 6}});
+  const Graph r = g.reversed();
+  EXPECT_NE(r.find_arc(1, 0), r.num_links());
+  EXPECT_NE(r.find_arc(2, 1), r.num_links());
+  EXPECT_EQ(r.find_arc(0, 1), r.num_links());
+  EXPECT_EQ(r.arc_tag(r.find_arc(1, 0)), 5);
+}
+
+TEST(Graph, RegularityAndMaxDegree) {
+  EXPECT_TRUE(make_ring(8).regular());
+  EXPECT_EQ(make_ring(8).max_degree(), 2u);
+  EXPECT_FALSE(make_path(8).regular());
+  EXPECT_TRUE(make_complete(5).regular());
+  EXPECT_EQ(make_complete(5).max_degree(), 4u);
+}
+
+TEST(Bfs, PathDistances) {
+  const Graph g = make_path(6);
+  const auto dist = bfs_distances(g, 0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(dist[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Bfs, RingDiameter) {
+  for (std::uint64_t n : {4u, 5u, 9u, 12u}) {
+    const DistanceStats s = graph_distance_stats(make_ring(n), 0);
+    EXPECT_EQ(s.eccentricity, static_cast<int>(n / 2));
+    EXPECT_TRUE(s.all_reachable());
+  }
+}
+
+TEST(Bfs, UnreachableNodesStayUnreached) {
+  const Graph g = Graph::build(4, false, {{0, 1, 0}});  // 2, 3 isolated
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], kUnreached);
+  const DistanceStats s = summarize(dist);
+  EXPECT_FALSE(s.all_reachable());
+  EXPECT_EQ(s.reachable, 2u);
+}
+
+TEST(Bfs, ParallelMatchesSerialOnManyGraphs) {
+  const Graph graphs[] = {make_hypercube(8), make_torus_2d(7, 9),
+                          make_kary_ncube(3, 4), make_ccc(4),
+                          make_pyramid(4)};
+  for (const Graph& g : graphs) {
+    const auto serial = bfs_distances(g, 0);
+    const auto parallel = bfs_distances_parallel(g, 0);
+    EXPECT_EQ(serial, parallel);
+  }
+}
+
+TEST(ZeroOneBfs, MatchesWeightedShortestPath) {
+  //   0 --w1-- 1 --w0-- 2 --w1-- 3,  plus shortcut 0 --w1-- 3
+  const Graph g = Graph::build(
+      4, false, {{0, 1, 1}, {1, 2, 0}, {2, 3, 1}, {0, 3, 1}});
+  const auto dist = zero_one_bfs(g, 0, [](std::int32_t tag) { return tag == 1; });
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 1);  // free hop 1->2
+  EXPECT_EQ(dist[3], 1);  // direct shortcut beats 1+1
+}
+
+TEST(ZeroOneBfs, AllZeroWeightsGiveZeroDistances) {
+  const Graph g = make_ring(6);
+  const auto dist = zero_one_bfs(g, 2, [](std::int32_t) { return false; });
+  for (const std::uint16_t d : dist) EXPECT_EQ(d, 0);
+}
+
+TEST(Hypercube, CountsAndDiameter) {
+  for (int d = 2; d <= 9; ++d) {
+    const Graph g = make_hypercube(d);
+    EXPECT_EQ(g.num_nodes(), std::uint64_t{1} << d);
+    EXPECT_TRUE(g.regular());
+    EXPECT_EQ(g.max_degree(), static_cast<std::uint64_t>(d));
+    EXPECT_EQ(graph_distance_stats(g, 0).eccentricity, hypercube_diameter(d));
+  }
+}
+
+TEST(Torus2D, CountsAndDiameter) {
+  const struct {
+    int r, c;
+  } cases[] = {{4, 4}, {5, 7}, {8, 8}, {3, 9}, {2, 6}};
+  for (const auto& t : cases) {
+    const Graph g = make_torus_2d(t.r, t.c);
+    EXPECT_EQ(g.num_nodes(), static_cast<std::uint64_t>(t.r) * t.c);
+    EXPECT_EQ(graph_distance_stats(g, 0).eccentricity,
+              torus_2d_diameter(t.r, t.c))
+        << t.r << "x" << t.c;
+  }
+}
+
+TEST(Torus3D, CountsAndDiameter) {
+  const Graph g = make_torus_3d(4, 5, 3);
+  EXPECT_EQ(g.num_nodes(), 60u);
+  EXPECT_EQ(graph_distance_stats(g, 0).eccentricity, torus_3d_diameter(4, 5, 3));
+  EXPECT_TRUE(g.regular());
+  EXPECT_EQ(g.max_degree(), 6u);
+}
+
+TEST(KaryNcube, MatchesHypercubeWhenBinary) {
+  const Graph a = make_kary_ncube(2, 6);
+  const Graph b = make_hypercube(6);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(graph_distance_stats(a, 0).histogram,
+            graph_distance_stats(b, 0).histogram);
+}
+
+TEST(KaryNcube, CountsAndDiameter) {
+  const Graph g = make_kary_ncube(5, 3);
+  EXPECT_EQ(g.num_nodes(), 125u);
+  EXPECT_TRUE(g.regular());
+  EXPECT_EQ(g.max_degree(), 6u);
+  EXPECT_EQ(graph_distance_stats(g, 0).eccentricity, kary_ncube_diameter(5, 3));
+}
+
+TEST(Ccc, CountsDegreeAndConnectivity) {
+  for (int d = 3; d <= 6; ++d) {
+    const Graph g = make_ccc(d);
+    EXPECT_EQ(g.num_nodes(), (std::uint64_t{1} << d) * d);
+    EXPECT_TRUE(g.regular()) << d;
+    EXPECT_EQ(g.max_degree(), 3u);
+    EXPECT_TRUE(graph_distance_stats(g, 0).all_reachable());
+  }
+}
+
+TEST(Pyramid, CountsAndApexReach) {
+  const Graph g = make_pyramid(4);  // 1 + 4 + 16 + 64 = 85 nodes
+  EXPECT_EQ(g.num_nodes(), 85u);
+  const DistanceStats s = graph_distance_stats(g, 0);
+  EXPECT_TRUE(s.all_reachable());
+  EXPECT_EQ(s.eccentricity, 3);  // apex reaches every level-3 node in 3 hops
+}
+
+TEST(AllPairs, MatchesSingleSourceOnSymmetricGraphs) {
+  const Graph g = make_hypercube(5);
+  const AllPairsStats ap = all_pairs_stats(g);
+  const DistanceStats ss = graph_distance_stats(g, 0);
+  EXPECT_TRUE(ap.connected);
+  EXPECT_EQ(ap.diameter, ss.eccentricity);
+  EXPECT_NEAR(ap.average, ss.average, 1e-9);
+}
+
+TEST(AllPairs, PathGraph) {
+  const AllPairsStats ap = all_pairs_stats(make_path(5));
+  EXPECT_EQ(ap.diameter, 4);
+  // Sum over ordered pairs of |i-j| = 2*(4*1+3*2+2*3+1*4) = 40; pairs = 20.
+  EXPECT_NEAR(ap.average, 2.0, 1e-9);
+}
+
+TEST(Baselines, RejectBadParameters) {
+  EXPECT_THROW(make_hypercube(0), std::invalid_argument);
+  EXPECT_THROW(make_torus_2d(1, 5), std::invalid_argument);
+  EXPECT_THROW(make_kary_ncube(1, 3), std::invalid_argument);
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+  EXPECT_THROW(make_ccc(1), std::invalid_argument);
+}
+
+TEST(Summarize, HistogramAndAverage) {
+  const std::vector<std::uint16_t> dist = {0, 1, 1, 2, kUnreached};
+  const DistanceStats s = summarize(dist);
+  EXPECT_EQ(s.nodes, 5u);
+  EXPECT_EQ(s.reachable, 4u);
+  EXPECT_EQ(s.eccentricity, 2);
+  ASSERT_EQ(s.histogram.size(), 3u);
+  EXPECT_EQ(s.histogram[1], 2u);
+  EXPECT_NEAR(s.average, 4.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace scg
