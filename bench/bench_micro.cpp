@@ -3,6 +3,7 @@
 // throughput (serial vs parallel).
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <random>
 
 #include "analysis/sweeps.hpp"
@@ -117,9 +118,74 @@ void BM_GreedyDesignationRoute(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyDesignationRoute);
 
+// Neighbor-expansion throughput (edges/sec), the kernel under every BFS and
+// sweep: naive unrank/apply/rank per edge, the compiled batch path, and the
+// materialized cache.  Networks are k = 10; the transposition network's 45
+// generators give the compiled shared-prefix/lockstep path the most overlap.
+void expand_naive(benchmark::State& state, const scg::NetworkSpec& net) {
+  const std::uint64_t n = net.num_nodes();
+  std::uint64_t r = 1;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    scg::for_each_neighbor(net, r, [&](std::uint64_t v, int) { sink ^= v; });
+    r = (r + 0x9e3779b9) % n;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * net.degree());
+}
+
+void expand_view(benchmark::State& state, const scg::NetworkView& view) {
+  const std::uint64_t n = view.num_nodes();
+  std::array<std::uint64_t, scg::kMaxCompiledDegree> buf;
+  std::uint64_t r = 1;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    const int d = view.expand_neighbors(r, buf.data());
+    for (int j = 0; j < d; ++j) sink ^= buf[j];
+    r = (r + 0x9e3779b9) % n;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * view.degree());
+}
+
+void BM_ExpandNaiveTransposition(benchmark::State& state) {
+  expand_naive(state, scg::make_transposition_network(10));
+}
+BENCHMARK(BM_ExpandNaiveTransposition);
+
+void BM_ExpandCompiledTransposition(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_transposition_network(10);
+  expand_view(state, scg::NetworkView::of(net));
+}
+BENCHMARK(BM_ExpandCompiledTransposition);
+
+void BM_ExpandCachedTransposition(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_transposition_network(10);
+  // 10! * 45 * 4 bytes ~ 653 MB: raise the budget so the table materializes.
+  expand_view(state, scg::NetworkView::cached(net, std::size_t{1} << 30));
+}
+BENCHMARK(BM_ExpandCachedTransposition);
+
+void BM_ExpandNaiveMacroStar(benchmark::State& state) {
+  expand_naive(state, scg::make_macro_star(3, 3));
+}
+BENCHMARK(BM_ExpandNaiveMacroStar);
+
+void BM_ExpandCompiledMacroStar(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_macro_star(3, 3);
+  expand_view(state, scg::NetworkView::of(net));
+}
+BENCHMARK(BM_ExpandCompiledMacroStar);
+
+void BM_ExpandCachedMacroStar(benchmark::State& state) {
+  const scg::NetworkSpec net = scg::make_macro_star(3, 3);
+  expand_view(state, scg::NetworkView::cached(net));
+}
+BENCHMARK(BM_ExpandCachedMacroStar);
+
 void BM_BfsSerial(benchmark::State& state) {
   const scg::NetworkSpec net = scg::make_macro_star(2, 3);  // k = 7, N = 5040
-  const scg::CayleyView view{&net};
+  const scg::NetworkView view = scg::NetworkView::of(net);
   const std::uint64_t src = scg::Permutation::identity(net.k()).rank();
   for (auto _ : state) {
     benchmark::DoNotOptimize(scg::bfs_distances(view, src));
@@ -129,7 +195,7 @@ BENCHMARK(BM_BfsSerial);
 
 void BM_BfsParallel(benchmark::State& state) {
   const scg::NetworkSpec net = scg::make_macro_star(2, 4);  // k = 9, N = 362880
-  const scg::CayleyView view{&net};
+  const scg::NetworkView view = scg::NetworkView::of(net);
   const std::uint64_t src = scg::Permutation::identity(net.k()).rank();
   for (auto _ : state) {
     benchmark::DoNotOptimize(scg::bfs_distances_parallel(view, src));

@@ -12,38 +12,12 @@
 namespace {
 
 void report_optimality(const scg::NetworkSpec& net) {
-  // Exact distances from the identity; the solver routes every node to the
-  // identity, so stretch = solver_steps / bfs_distance per source.
-  const scg::CayleyView view{&net};
-  const std::uint64_t src = scg::Permutation::identity(net.k()).rank();
-  // BFS towards the identity: for directed graphs distances to the identity
-  // come from the reverse view.
-  std::vector<std::uint16_t> dist;
-  if (net.directed) {
-    const scg::ReverseCayleyView rview(net);
-    dist = scg::bfs_distances(rview, src);
-  } else {
-    dist = scg::bfs_distances(view, src);
-  }
-  const scg::Permutation target = scg::Permutation::identity(net.k());
-  double stretch_sum = 0.0;
-  double stretch_max = 0.0;
-  std::uint64_t optimal = 0;
-  std::uint64_t count = 0;
-  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
-    if (r == src) continue;
-    const scg::Permutation u = scg::Permutation::unrank(net.k(), r);
-    const int steps = scg::route_length(net, u, target);
-    const double stretch = static_cast<double>(steps) / dist[r];
-    stretch_sum += stretch;
-    stretch_max = std::max(stretch_max, stretch);
-    if (steps == dist[r]) ++optimal;
-    ++count;
-  }
+  // Stretch = solver_steps / bfs_distance per source, routed to the identity.
+  const scg::StretchSweep s = scg::measure_stretch(net);
   std::printf("%-20s N=%-6llu avg-stretch=%-6.3f max-stretch=%-6.2f "
               "optimal-routes=%.1f%%\n",
               net.name.c_str(), static_cast<unsigned long long>(net.num_nodes()),
-              stretch_sum / count, stretch_max, 100.0 * optimal / count);
+              s.avg_stretch, s.max_stretch, 100.0 * s.optimal_fraction);
 }
 
 void report_offset_gain(int l, int n) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a sanitizer pass:
+#   1. default build + full ctest (the tier-1 gate);
+#   2. ASan+UBSan build + the fast-labelled tests (large sweeps excluded —
+#      run `ctest --preset asan-fast` with no label filter to widen).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: default build =="
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+ctest --preset default -j"$(nproc)"
+
+echo "== sanitizers: asan+ubsan build, fast tests =="
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ctest --preset asan-fast -j"$(nproc)"
+
+echo "== all checks passed =="

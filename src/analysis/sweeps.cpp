@@ -1,9 +1,12 @@
 #include "analysis/sweeps.hpp"
 
+#include <algorithm>
 #include <random>
 
 #include "networks/router.hpp"
+#include "networks/view.hpp"
 #include "parallel/parallel_for.hpp"
+#include "topology/bfs.hpp"
 
 namespace scg {
 namespace {
@@ -84,6 +87,58 @@ SolverSweep sweep_sampled(const NetworkSpec& net, std::uint64_t samples,
       },
       combine, /*grain=*/1 << 8, pool);
   return finish(total);
+}
+
+StretchSweep measure_stretch(const NetworkSpec& net, ThreadPool* pool) {
+  const std::uint64_t n = net.num_nodes();
+  const Permutation target = Permutation::identity(net.k());
+  const std::uint64_t src = target.rank();
+  // Exact distances *towards* the identity: BFS over the forward view for
+  // undirected networks, over the reverse view for directed ones.
+  const NetworkView toward =
+      net.directed ? NetworkView::reverse_of(net) : NetworkView::of(net);
+  const std::vector<std::uint16_t> dist =
+      bfs_distances_parallel(toward, src, pool);
+
+  struct P {
+    double sum = 0.0;
+    double max = 0.0;
+    std::uint64_t optimal = 0;
+    std::uint64_t count = 0;
+  };
+  const P total = parallel_reduce<P>(
+      n, P{},
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        P p;
+        for (std::uint64_t r = lo; r < hi; ++r) {
+          if (r == src) continue;
+          const Permutation u = Permutation::unrank(net.k(), r);
+          const int steps = route_length(net, u, target);
+          const double stretch = static_cast<double>(steps) / dist[r];
+          p.sum += stretch;
+          p.max = std::max(p.max, stretch);
+          if (steps == dist[r]) ++p.optimal;
+          ++p.count;
+        }
+        return p;
+      },
+      [](P a, const P& b) {
+        a.sum += b.sum;
+        a.max = std::max(a.max, b.max);
+        a.optimal += b.optimal;
+        a.count += b.count;
+        return a;
+      },
+      /*grain=*/1 << 10, pool);
+  StretchSweep s;
+  s.sources = total.count;
+  if (total.count > 0) {
+    s.avg_stretch = total.sum / static_cast<double>(total.count);
+    s.max_stretch = total.max;
+    s.optimal_fraction =
+        static_cast<double>(total.optimal) / static_cast<double>(total.count);
+  }
+  return s;
 }
 
 }  // namespace scg

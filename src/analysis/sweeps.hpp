@@ -25,4 +25,17 @@ SolverSweep sweep_all_sources(const NetworkSpec& net, ThreadPool* pool = nullptr
 SolverSweep sweep_sampled(const NetworkSpec& net, std::uint64_t samples,
                           std::uint64_t seed = 42, ThreadPool* pool = nullptr);
 
+struct StretchSweep {
+  double avg_stretch = 0.0;       ///< mean solver_steps / bfs_distance
+  double max_stretch = 0.0;       ///< worst-case ratio over all sources
+  double optimal_fraction = 0.0;  ///< fraction of sources routed at distance
+  std::uint64_t sources = 0;      ///< number of non-identity sources
+};
+
+/// Routing quality of the game solver against exact BFS distances: routes
+/// every permutation to the identity and compares the word length with the
+/// graph distance (distances towards the identity come from the reverse
+/// NetworkView for directed networks).
+StretchSweep measure_stretch(const NetworkSpec& net, ThreadPool* pool = nullptr);
+
 }  // namespace scg

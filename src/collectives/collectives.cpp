@@ -76,10 +76,11 @@ class KnownSets {
   std::vector<std::uint64_t> bits_;
 };
 
-}  // namespace
-
-CollectiveResult broadcast_single_port(const Graph& g, std::uint64_t root,
-                                       int max_rounds) {
+/// The two single-source broadcasts only walk out-neighbors, so they run
+/// identically over a CSR Graph and an implicit NetworkView.
+template <typename G>
+CollectiveResult broadcast_single_port_impl(const G& g, std::uint64_t root,
+                                            int max_rounds) {
   const std::uint64_t n = g.num_nodes();
   std::vector<std::uint8_t> informed(n, 0);
   informed[root] = 1;
@@ -110,8 +111,9 @@ CollectiveResult broadcast_single_port(const Graph& g, std::uint64_t root,
   return res;
 }
 
-CollectiveResult broadcast_all_port(const Graph& g, std::uint64_t root,
-                                    int max_rounds) {
+template <typename G>
+CollectiveResult broadcast_all_port_impl(const G& g, std::uint64_t root,
+                                         int max_rounds) {
   const std::uint64_t n = g.num_nodes();
   std::vector<std::uint8_t> informed(n, 0);
   informed[root] = 1;
@@ -136,6 +138,28 @@ CollectiveResult broadcast_all_port(const Graph& g, std::uint64_t root,
   }
   res.complete = informed_count == n;
   return res;
+}
+
+}  // namespace
+
+CollectiveResult broadcast_single_port(const Graph& g, std::uint64_t root,
+                                       int max_rounds) {
+  return broadcast_single_port_impl(g, root, max_rounds);
+}
+
+CollectiveResult broadcast_single_port(const NetworkView& view,
+                                       std::uint64_t root, int max_rounds) {
+  return broadcast_single_port_impl(view, root, max_rounds);
+}
+
+CollectiveResult broadcast_all_port(const Graph& g, std::uint64_t root,
+                                    int max_rounds) {
+  return broadcast_all_port_impl(g, root, max_rounds);
+}
+
+CollectiveResult broadcast_all_port(const NetworkView& view,
+                                    std::uint64_t root, int max_rounds) {
+  return broadcast_all_port_impl(view, root, max_rounds);
 }
 
 CollectiveResult mnb_all_port(const Graph& g, int max_rounds) {

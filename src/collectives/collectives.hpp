@@ -18,6 +18,7 @@
 
 #include <cstdint>
 
+#include "networks/view.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
@@ -29,13 +30,20 @@ struct CollectiveResult {
 };
 
 /// Single-source broadcast under the single-port model: informed nodes each
-/// forward to one uninformed neighbor per round (greedy).
+/// forward to one uninformed neighbor per round (greedy).  The NetworkView
+/// overload runs the same schedule without materializing the graph, so
+/// broadcast rounds can be measured on multi-million-node networks.
 CollectiveResult broadcast_single_port(const Graph& g, std::uint64_t root,
+                                       int max_rounds = 1 << 20);
+CollectiveResult broadcast_single_port(const NetworkView& view,
+                                       std::uint64_t root,
                                        int max_rounds = 1 << 20);
 
 /// Single-source broadcast under the all-port model (= BFS flooding):
 /// completes in eccentricity(root) rounds.
 CollectiveResult broadcast_all_port(const Graph& g, std::uint64_t root,
+                                    int max_rounds = 1 << 20);
+CollectiveResult broadcast_all_port(const NetworkView& view, std::uint64_t root,
                                     int max_rounds = 1 << 20);
 
 /// Multinode broadcast (every node's packet reaches every node) under the

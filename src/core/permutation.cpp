@@ -68,11 +68,10 @@ Permutation Permutation::parse(const std::string& digits) {
 Permutation Permutation::unrank(int k, std::uint64_t rank) {
   assert(k >= 1 && k <= kMaxSymbols);
   Permutation p = identity(k);
-  for (int n = k; n > 0; --n) {
-    const std::uint64_t q = rank / n;
-    const int r = static_cast<int>(rank % static_cast<std::uint64_t>(n));
+  for (int n = k; n > 1; --n) {  // n == 1 swaps sym_[0] with itself: skip
+    std::uint64_t r;
+    rank = detail::divmod(rank, n, r);
     std::swap(p.sym_[n - 1], p.sym_[r]);
-    rank = q;
   }
   return p;
 }

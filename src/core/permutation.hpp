@@ -24,6 +24,39 @@ inline constexpr int kMaxSymbols = 20;
 /// k! as a 64-bit integer; valid for 0 <= k <= 20.
 std::uint64_t factorial(int k);
 
+namespace detail {
+
+/// Precomputed floor(2^64 / n) for n in 2..kMaxSymbols.
+struct RecipTable {
+  std::uint64_t m[kMaxSymbols + 1] = {};
+};
+inline constexpr RecipTable kRecips = [] {
+  RecipTable t;
+  for (int n = 2; n <= kMaxSymbols; ++n) {
+    t.m[n] = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(1) << 64) / static_cast<unsigned>(n));
+  }
+  return t;
+}();
+
+/// q = r / n with rem = r % n, for 2 <= n <= kMaxSymbols, via one
+/// multiply-high against the reciprocal table.  Hardware 64-bit division
+/// dominates Myrvold-Ruskey unranking (one divide per symbol); this is the
+/// same quotient several times faster, exact for every 64-bit r (the
+/// approximation undershoots by at most one, fixed up by the compare).
+inline std::uint64_t divmod(std::uint64_t r, int n, std::uint64_t& rem) {
+  std::uint64_t q = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(r) * kRecips.m[n]) >> 64);
+  rem = r - q * static_cast<std::uint64_t>(n);
+  if (rem >= static_cast<std::uint64_t>(n)) {
+    rem -= static_cast<std::uint64_t>(n);
+    ++q;
+  }
+  return q;
+}
+
+}  // namespace detail
+
 /// A permutation of {1..k} with small fixed storage and value semantics.
 class Permutation {
  public:

@@ -24,14 +24,32 @@ std::vector<std::uint32_t> cayley_path(const NetworkSpec& net,
 }  // namespace
 
 GraphRoutes::GraphRoutes(const Graph& g)
-    : g_(&g), dist_to_(g.num_nodes()), have_(g.num_nodes(), false) {}
+    : view_(NetworkView::of(g)),
+      toward_(view_),
+      dist_to_(g.num_nodes()),
+      have_(g.num_nodes(), false) {
+  if (g.directed()) throw std::invalid_argument("GraphRoutes: undirected only");
+}
+
+GraphRoutes::GraphRoutes(const NetworkView& view)
+    : view_(view),
+      toward_(view),
+      dist_to_(view.num_nodes()),
+      have_(view.num_nodes(), false) {
+  if (view_.directed()) {
+    if (view_.spec() == nullptr) {
+      throw std::invalid_argument(
+          "GraphRoutes: directed routing needs a NetworkSpec-backed view");
+    }
+    toward_ = NetworkView::reverse_of(*view_.spec());
+  }
+}
 
 std::vector<std::uint32_t> GraphRoutes::path(std::uint64_t src, std::uint64_t dst) {
   if (!have_[dst]) {
-    // For undirected graphs BFS from dst gives distances towards dst; the
-    // simulator only uses undirected explicit graphs.
-    if (g_->directed()) throw std::invalid_argument("GraphRoutes: undirected only");
-    dist_to_[dst] = bfs_distances(*g_, dst);
+    // BFS from dst over `toward_` (the reverse view for directed networks)
+    // gives distances towards dst.
+    dist_to_[dst] = bfs_distances(toward_, dst);
     have_[dst] = true;
   }
   const std::vector<std::uint16_t>& dist = dist_to_[dst];
@@ -40,7 +58,7 @@ std::vector<std::uint32_t> GraphRoutes::path(std::uint64_t src, std::uint64_t ds
   std::uint64_t cur = src;
   while (cur != dst) {
     std::uint64_t next = cur;
-    g_->for_each_neighbor(cur, [&](std::uint64_t v, std::int32_t) {
+    view_.for_each_neighbor(cur, [&](std::uint64_t v, std::int32_t) {
       if (dist[v] + 1 == dist[cur] && (next == cur || v < next)) next = v;
     });
     if (next == cur) throw std::logic_error("GraphRoutes: no descent step");

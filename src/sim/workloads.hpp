@@ -8,22 +8,28 @@
 #include <vector>
 
 #include "networks/super_cayley.hpp"
+#include "networks/view.hpp"
 #include "sim/mcmp.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
 
-/// A routing oracle for explicit graphs: shortest paths via one BFS per
+/// A routing oracle over any NetworkView: shortest paths via one BFS per
 /// destination, cached.  Deterministic tie-breaking (lowest neighbor id).
+/// Undirected views BFS from the destination directly; directed views need
+/// a NetworkSpec-backed view so the reverse view can provide distances
+/// *towards* each destination.
 class GraphRoutes {
  public:
   explicit GraphRoutes(const Graph& g);
+  explicit GraphRoutes(const NetworkView& view);
 
   /// Node sequence src..dst along a shortest path.
   std::vector<std::uint32_t> path(std::uint64_t src, std::uint64_t dst);
 
  private:
-  const Graph* g_;
+  NetworkView view_;    // forward adjacency (descent steps)
+  NetworkView toward_;  // BFS from dst on this yields distances towards dst
   // dist_to_[dst] lazily holds BFS distances *towards* dst.
   std::vector<std::vector<std::uint16_t>> dist_to_;
   std::vector<bool> have_;

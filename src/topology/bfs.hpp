@@ -8,6 +8,7 @@
 // in this library has diameter far below 65535.
 #pragma once
 
+#include <cassert>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -21,6 +22,18 @@ namespace scg {
 
 inline constexpr std::uint16_t kUnreached = std::numeric_limits<std::uint16_t>::max();
 
+/// Graphs with a batch neighbor-expansion path (NetworkView): one call
+/// yields all out-neighbors of a node, amortising unrank/rank work that a
+/// per-edge for_each_neighbor would repeat.  Plain BFS prefers it; tagged
+/// traversals (0-1 BFS) keep for_each_neighbor, whose tags are exact for
+/// every backend.
+template <typename G>
+concept BatchExpandable = requires(const G& g, std::uint64_t u,
+                                   std::uint64_t* out) {
+  { g.expand_neighbors(u, out) } -> std::convertible_to<int>;
+  { g.degree() } -> std::convertible_to<int>;
+};
+
 /// Serial BFS; returns the distance array from `src`.
 template <typename G>
 std::vector<std::uint16_t> bfs_distances(const G& g, std::uint64_t src) {
@@ -29,16 +42,25 @@ std::vector<std::uint16_t> bfs_distances(const G& g, std::uint64_t src) {
   std::vector<std::uint64_t> next;
   dist[src] = 0;
   std::uint16_t level = 0;
+  [[maybe_unused]] std::vector<std::uint64_t> buf;
+  if constexpr (BatchExpandable<G>) buf.resize(g.degree());
   while (!frontier.empty()) {
+    assert(level < kUnreached - 1 && "bfs_distances: distance overflow");
     ++level;
     next.clear();
     for (const std::uint64_t u : frontier) {
-      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      const auto relax = [&](std::uint64_t v) {
         if (dist[v] == kUnreached) {
           dist[v] = level;
           next.push_back(v);
         }
-      });
+      };
+      if constexpr (BatchExpandable<G>) {
+        const int d = g.expand_neighbors(u, buf.data());
+        for (int j = 0; j < d; ++j) relax(buf[j]);
+      } else {
+        g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) { relax(v); });
+      }
     }
     frontier.swap(next);
   }
@@ -57,6 +79,7 @@ std::vector<std::uint16_t> bfs_distances_parallel(const G& g, std::uint64_t src,
   dist[src] = 0;
   std::uint16_t level = 0;
   while (!frontier.empty()) {
+    assert(level < kUnreached - 1 && "bfs_distances_parallel: distance overflow");
     ++level;
     const std::uint64_t fsz = frontier.size();
     std::vector<std::vector<std::uint64_t>> buffers;
@@ -64,16 +87,27 @@ std::vector<std::uint16_t> bfs_distances_parallel(const G& g, std::uint64_t src,
         fsz, [&](std::uint64_t chunks) { buffers.resize(chunks); },
         [&](std::uint64_t lo, std::uint64_t hi, std::uint64_t chunk) {
           std::vector<std::uint64_t>& out = buffers[chunk];
-          for (std::uint64_t idx = lo; idx < hi; ++idx) {
-            g.for_each_neighbor(frontier[idx], [&](std::uint64_t v, std::int32_t) {
-              std::atomic_ref<std::uint16_t> d(dist[v]);
-              std::uint16_t expected = kUnreached;
-              if (d.load(std::memory_order_relaxed) == kUnreached &&
-                  d.compare_exchange_strong(expected, level,
-                                            std::memory_order_relaxed)) {
-                out.push_back(v);
-              }
-            });
+          const auto relax = [&](std::uint64_t v) {
+            std::atomic_ref<std::uint16_t> d(dist[v]);
+            std::uint16_t expected = kUnreached;
+            if (d.load(std::memory_order_relaxed) == kUnreached &&
+                d.compare_exchange_strong(expected, level,
+                                          std::memory_order_relaxed)) {
+              out.push_back(v);
+            }
+          };
+          if constexpr (BatchExpandable<G>) {
+            std::vector<std::uint64_t> buf(g.degree());
+            for (std::uint64_t idx = lo; idx < hi; ++idx) {
+              const int d = g.expand_neighbors(frontier[idx], buf.data());
+              for (int j = 0; j < d; ++j) relax(buf[j]);
+            }
+          } else {
+            for (std::uint64_t idx = lo; idx < hi; ++idx) {
+              g.for_each_neighbor(
+                  frontier[idx],
+                  [&](std::uint64_t v, std::int32_t) { relax(v); });
+            }
           }
         },
         /*grain=*/4096, pool);
@@ -103,6 +137,10 @@ std::vector<std::uint16_t> zero_one_bfs(const G& g, std::uint64_t src,
     g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t tag) {
       const std::uint16_t w = weight(tag) ? 1 : 0;
       const std::uint32_t nd = du + w;
+      // du never exceeds the stored maximum real distance (kUnreached - 1),
+      // so nd caps at kUnreached; it must not wrap into a "real" distance.
+      assert(nd < kUnreached && "zero_one_bfs: distance overflow");
+      if (nd >= kUnreached) return;  // clamp: leave v at its current label
       if (nd < dist[v]) {
         dist[v] = static_cast<std::uint16_t>(nd);
         if (w == 0) {

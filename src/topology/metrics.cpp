@@ -1,16 +1,13 @@
 #include "topology/metrics.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <stdexcept>
 
 #include "parallel/parallel_for.hpp"
 
 namespace scg {
-
-ReverseCayleyView::ReverseCayleyView(const NetworkSpec& net) : net_(&net) {
-  inverses_.reserve(net.generators.size());
-  for (const Generator& g : net.generators) inverses_.push_back(g.inverse(net.l));
-}
 
 DistanceStats summarize(const std::vector<std::uint16_t>& dist) {
   DistanceStats s;
@@ -32,16 +29,20 @@ DistanceStats summarize(const std::vector<std::uint16_t>& dist) {
   return s;
 }
 
-DistanceStats network_distance_stats(const NetworkSpec& net, bool parallel) {
-  const CayleyView view{&net};
-  const std::uint64_t src = Permutation::identity(net.k()).rank();
+DistanceStats distance_stats(const NetworkView& view, std::uint64_t src,
+                             bool parallel) {
   const std::vector<std::uint16_t> dist =
       parallel ? bfs_distances_parallel(view, src) : bfs_distances(view, src);
   return summarize(dist);
 }
 
+DistanceStats network_distance_stats(const NetworkSpec& net, bool parallel) {
+  return distance_stats(NetworkView::of(net),
+                        Permutation::identity(net.k()).rank(), parallel);
+}
+
 DistanceStats intercluster_distance_stats(const NetworkSpec& net) {
-  const CayleyView view{&net};
+  const NetworkView view = NetworkView::of(net);
   const std::uint64_t src = Permutation::identity(net.k()).rank();
   const auto dist = zero_one_bfs(view, src, [&](std::int32_t tag) {
     return !is_nucleus(net.generators[static_cast<std::size_t>(tag)].kind);
@@ -51,25 +52,29 @@ DistanceStats intercluster_distance_stats(const NetworkSpec& net) {
 
 bool strongly_connected(const NetworkSpec& net) {
   const std::uint64_t src = Permutation::identity(net.k()).rank();
-  {
-    const CayleyView view{&net};
-    if (!summarize(bfs_distances(view, src)).all_reachable()) return false;
-  }
-  if (net.directed) {
-    const ReverseCayleyView rview(net);
-    if (!summarize(bfs_distances(rview, src)).all_reachable()) return false;
+  if (!distance_stats(NetworkView::of(net), src).all_reachable()) return false;
+  if (net.directed &&
+      !distance_stats(NetworkView::reverse_of(net), src).all_reachable()) {
+    return false;
   }
   return true;
 }
 
 Graph materialize(const NetworkSpec& net) {
-  std::vector<Graph::Edge> edges;
   const std::uint64_t n = net.num_nodes();
-  edges.reserve(n * net.generators.size());
+  if (n > UINT32_MAX) {
+    throw std::invalid_argument(
+        "materialize: " + net.name + " has too many nodes for 32-bit targets");
+  }
+  const NetworkView view = NetworkView::of(net);
+  std::vector<Graph::Edge> edges;
+  edges.reserve(n * static_cast<std::uint64_t>(view.degree()));
+  std::array<std::uint64_t, kMaxCompiledDegree> buf;
   for (std::uint64_t u = 0; u < n; ++u) {
-    for_each_neighbor(net, u, [&](std::uint64_t v, int gi) {
-      edges.push_back(Graph::Edge{u, v, gi});
-    });
+    const int d = view.expand_neighbors(u, buf.data());
+    for (int j = 0; j < d; ++j) {
+      edges.push_back(Graph::Edge{u, buf[j], j});
+    }
   }
   // Both directions are already listed for undirected networks (the
   // generator set is inverse-closed), so build as directed arcs either way.

@@ -10,46 +10,11 @@
 #include <vector>
 
 #include "networks/super_cayley.hpp"
+#include "networks/view.hpp"
 #include "topology/bfs.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
-
-/// Implicit-graph adapter over a NetworkSpec: neighbors are generated on the
-/// fly (unrank, apply generator, rank) — no adjacency is materialised, so
-/// k = 10..11 instances (3.6M–40M nodes) are traversable.
-struct CayleyView {
-  const NetworkSpec* net;
-
-  std::uint64_t num_nodes() const { return net->num_nodes(); }
-
-  template <typename Fn>
-  void for_each_neighbor(std::uint64_t u, Fn&& fn) const {
-    scg::for_each_neighbor(*net, u, fn);
-  }
-};
-
-/// Adapter traversing the reverse of a directed Cayley network (applies the
-/// inverse generators).  Used for strong-connectivity checks.
-struct ReverseCayleyView {
-  explicit ReverseCayleyView(const NetworkSpec& net);
-
-  std::uint64_t num_nodes() const { return net_->num_nodes(); }
-
-  template <typename Fn>
-  void for_each_neighbor(std::uint64_t u, Fn&& fn) const {
-    const Permutation x = Permutation::unrank(net_->k(), u);
-    for (std::size_t gi = 0; gi < inverses_.size(); ++gi) {
-      Permutation v = x;
-      inverses_[gi].apply(v);
-      fn(v.rank(), static_cast<int>(gi));
-    }
-  }
-
- private:
-  const NetworkSpec* net_;
-  std::vector<Generator> inverses_;
-};
 
 /// Aggregates of a single-source distance array.
 struct DistanceStats {
@@ -63,6 +28,10 @@ struct DistanceStats {
 };
 
 DistanceStats summarize(const std::vector<std::uint16_t>& dist);
+
+/// Distance profile of any NetworkView from `src` (BFS + summarize).
+DistanceStats distance_stats(const NetworkView& view, std::uint64_t src,
+                             bool parallel = false);
 
 /// Full distance profile of a Cayley network from the identity node.
 /// By vertex symmetry: eccentricity == diameter, average == average distance.

@@ -145,8 +145,8 @@ TEST(StarEmulation, HostDistanceAtMostTwiceGuestDistance) {
   // Consequence of the dilation-2 embedding: d_IS(u,v) <= 2 d_star(u,v).
   const NetworkSpec star = make_star_graph(6);
   const NetworkSpec is = make_insertion_selection(6);
-  const CayleyView sv{&star};
-  const CayleyView iv{&is};
+  const NetworkView sv = NetworkView::of(star);
+  const NetworkView iv = NetworkView::of(is);
   const std::uint64_t src = Permutation::identity(6).rank();
   const auto ds = bfs_distances(sv, src);
   const auto di = bfs_distances(iv, src);

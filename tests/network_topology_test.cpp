@@ -33,7 +33,7 @@ TEST(VertexSymmetry, DistanceProfileIndependentOfSource) {
   // histogram must be the same from any source.
   std::mt19937_64 rng(17);
   for (const NetworkSpec& net : all_super_cayley(2, 2)) {
-    const CayleyView view{&net};
+    const NetworkView view = NetworkView::of(net);
     const DistanceStats base =
         summarize(bfs_distances(view, Permutation::identity(net.k()).rank()));
     std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
@@ -161,7 +161,7 @@ TEST(Intercluster, DiameterAtMostPlainDiameter) {
 
 TEST(Intercluster, ZeroWithinACluster) {
   const NetworkSpec net = make_macro_star(3, 2);
-  const CayleyView view{&net};
+  const NetworkView view = NetworkView::of(net);
   const std::uint64_t src = Permutation::identity(net.k()).rank();
   const auto dist = zero_one_bfs(view, src, [&](std::int32_t tag) {
     return !is_nucleus(net.generators[static_cast<std::size_t>(tag)].kind);
@@ -181,8 +181,8 @@ TEST(DirectedDiameter, ForwardAndReverseEccentricityAgreeOnCayley) {
   // For a vertex-symmetric digraph, max_u d(e,u) == max_u d(u,e).
   for (const NetworkSpec& net :
        {make_macro_rotator(3, 2), make_rotation_rotator(3, 2)}) {
-    const CayleyView fwd{&net};
-    const ReverseCayleyView rev(net);
+    const NetworkView fwd = NetworkView::of(net);
+    const NetworkView rev = NetworkView::reverse_of(net);
     const std::uint64_t src = Permutation::identity(net.k()).rank();
     const DistanceStats a = summarize(bfs_distances(fwd, src));
     const DistanceStats b = summarize(bfs_distances(rev, src));

@@ -55,7 +55,7 @@ TEST(Pancake, GreedyRouterSolvesWithinTwoKMinusOne) {
 
 TEST(Pancake, RouterNeverBeatsBfs) {
   const NetworkSpec net = make_pancake_graph(6);
-  const CayleyView view{&net};
+  const NetworkView view = NetworkView::of(net);
   const std::uint64_t id = Permutation::identity(6).rank();
   const auto dist = bfs_distances(view, id);
   const Permutation target = Permutation::identity(6);

@@ -131,10 +131,10 @@ TEST(PropertySweep, RouterMatchesSampledBfsDistancesAtK9) {
     const std::uint64_t id = Permutation::identity(9).rank();
     std::vector<std::uint16_t> dist;
     if (net.directed) {
-      const ReverseCayleyView rview(net);
+      const NetworkView rview = NetworkView::reverse_of(net);
       dist = bfs_distances(rview, id);
     } else {
-      const CayleyView view{&net};
+      const NetworkView view = NetworkView::of(net);
       dist = bfs_distances(view, id);
     }
     std::mt19937_64 rng(31);

@@ -50,8 +50,8 @@ TEST(Router, NeverBeatsBfsDistance) {
   // The solver word is a real path, so its length >= the true distance.
   std::mt19937_64 rng(31);
   for (const NetworkSpec& net : all_super_cayley(2, 2)) {
-    const CayleyView view{&net};
-    const ReverseCayleyView rview(net);
+    const NetworkView view = NetworkView::of(net);
+    const NetworkView rview = NetworkView::reverse_of(net);
     const std::uint64_t id = Permutation::identity(net.k()).rank();
     // Distances *to* the identity: reverse BFS for directed graphs.
     const auto dist = net.directed ? bfs_distances(rview, id)
@@ -68,7 +68,7 @@ TEST(Router, NeverBeatsBfsDistance) {
 TEST(Router, StarRouterIsExactlyOptimal) {
   // The Akers-Harel-Krishnamurthy algorithm is distance-optimal on stars.
   const NetworkSpec net = make_star_graph(6);
-  const CayleyView view{&net};
+  const NetworkView view = NetworkView::of(net);
   const std::uint64_t id = Permutation::identity(6).rank();
   const auto dist = bfs_distances(view, id);
   const Permutation target = Permutation::identity(6);
@@ -79,7 +79,7 @@ TEST(Router, StarRouterIsExactlyOptimal) {
 
 TEST(Router, RotatorRouterIsExactlyOptimal) {
   const NetworkSpec net = make_rotator_graph(6);
-  const ReverseCayleyView rview(net);
+  const NetworkView rview = NetworkView::reverse_of(net);
   const std::uint64_t id = Permutation::identity(6).rank();
   const auto dist = bfs_distances(rview, id);
   const Permutation target = Permutation::identity(6);
