@@ -77,16 +77,19 @@ class KnownSets {
 };
 
 /// The two single-source broadcasts only walk out-neighbors, so they run
-/// identically over a CSR Graph and an implicit NetworkView.
+/// identically over a CSR Graph, an implicit NetworkView, or a fault-
+/// filtered view.  `goal` is the number of nodes that must end informed
+/// (all of them normally, the survivors under faults).
 template <typename G>
 CollectiveResult broadcast_single_port_impl(const G& g, std::uint64_t root,
-                                            int max_rounds) {
+                                            int max_rounds,
+                                            std::uint64_t goal) {
   const std::uint64_t n = g.num_nodes();
   std::vector<std::uint8_t> informed(n, 0);
   informed[root] = 1;
   std::uint64_t informed_count = 1;
   CollectiveResult res;
-  while (informed_count < n && res.rounds < max_rounds) {
+  while (informed_count < goal && res.rounds < max_rounds) {
     ++res.rounds;
     std::vector<std::uint64_t> newly;
     std::vector<std::uint8_t> receiving(n, 0);
@@ -107,20 +110,20 @@ CollectiveResult broadcast_single_port_impl(const G& g, std::uint64_t root,
     informed_count += newly.size();
     if (newly.empty()) break;  // disconnected
   }
-  res.complete = informed_count == n;
+  res.complete = informed_count == goal;
   return res;
 }
 
 template <typename G>
 CollectiveResult broadcast_all_port_impl(const G& g, std::uint64_t root,
-                                         int max_rounds) {
+                                         int max_rounds, std::uint64_t goal) {
   const std::uint64_t n = g.num_nodes();
   std::vector<std::uint8_t> informed(n, 0);
   informed[root] = 1;
   std::uint64_t informed_count = 1;
   CollectiveResult res;
   std::vector<std::uint64_t> frontier{root};
-  while (informed_count < n && res.rounds < max_rounds) {
+  while (informed_count < goal && res.rounds < max_rounds) {
     ++res.rounds;
     std::vector<std::uint64_t> next;
     for (const std::uint64_t u : frontier) {
@@ -136,30 +139,57 @@ CollectiveResult broadcast_all_port_impl(const G& g, std::uint64_t root,
     frontier.swap(next);
     if (frontier.empty()) break;
   }
-  res.complete = informed_count == n;
+  res.complete = informed_count == goal;
   return res;
+}
+
+/// Surviving-node count for the fault-aware broadcast goal.
+std::uint64_t survivors(std::uint64_t n, const FaultSet& faults) {
+  std::uint64_t dead = 0;
+  for (const std::uint64_t u : faults.failed_nodes()) {
+    if (u < n) ++dead;
+  }
+  return n - dead;
 }
 
 }  // namespace
 
 CollectiveResult broadcast_single_port(const Graph& g, std::uint64_t root,
                                        int max_rounds) {
-  return broadcast_single_port_impl(g, root, max_rounds);
+  return broadcast_single_port_impl(g, root, max_rounds, g.num_nodes());
 }
 
 CollectiveResult broadcast_single_port(const NetworkView& view,
                                        std::uint64_t root, int max_rounds) {
-  return broadcast_single_port_impl(view, root, max_rounds);
+  return broadcast_single_port_impl(view, root, max_rounds, view.num_nodes());
 }
 
 CollectiveResult broadcast_all_port(const Graph& g, std::uint64_t root,
                                     int max_rounds) {
-  return broadcast_all_port_impl(g, root, max_rounds);
+  return broadcast_all_port_impl(g, root, max_rounds, g.num_nodes());
 }
 
 CollectiveResult broadcast_all_port(const NetworkView& view,
                                     std::uint64_t root, int max_rounds) {
-  return broadcast_all_port_impl(view, root, max_rounds);
+  return broadcast_all_port_impl(view, root, max_rounds, view.num_nodes());
+}
+
+CollectiveResult broadcast_single_port(const NetworkView& view,
+                                       const FaultSet& faults,
+                                       std::uint64_t root, int max_rounds) {
+  if (faults.node_failed(root)) return {};
+  const FaultFiltered<NetworkView> filtered(view, faults);
+  return broadcast_single_port_impl(filtered, root, max_rounds,
+                                    survivors(view.num_nodes(), faults));
+}
+
+CollectiveResult broadcast_all_port(const NetworkView& view,
+                                    const FaultSet& faults, std::uint64_t root,
+                                    int max_rounds) {
+  if (faults.node_failed(root)) return {};
+  const FaultFiltered<NetworkView> filtered(view, faults);
+  return broadcast_all_port_impl(filtered, root, max_rounds,
+                                 survivors(view.num_nodes(), faults));
 }
 
 CollectiveResult mnb_all_port(const Graph& g, int max_rounds) {

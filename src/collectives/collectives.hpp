@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "networks/view.hpp"
+#include "topology/fault_set.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
@@ -44,6 +45,17 @@ CollectiveResult broadcast_single_port(const NetworkView& view,
 CollectiveResult broadcast_all_port(const Graph& g, std::uint64_t root,
                                     int max_rounds = 1 << 20);
 CollectiveResult broadcast_all_port(const NetworkView& view, std::uint64_t root,
+                                    int max_rounds = 1 << 20);
+
+/// Fault-aware broadcasts: the same schedules over the fault-filtered view.
+/// `complete` means every *surviving* node is informed (failed nodes are out
+/// of the collective); a failed root yields an immediate incomplete result.
+CollectiveResult broadcast_single_port(const NetworkView& view,
+                                       const FaultSet& faults,
+                                       std::uint64_t root,
+                                       int max_rounds = 1 << 20);
+CollectiveResult broadcast_all_port(const NetworkView& view,
+                                    const FaultSet& faults, std::uint64_t root,
                                     int max_rounds = 1 << 20);
 
 /// Multinode broadcast (every node's packet reaches every node) under the

@@ -1,0 +1,335 @@
+#include "networks/fault_router.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "networks/router.hpp"
+
+namespace scg {
+namespace {
+
+/// Generator index joining u -> v in `view`, or -1.  On multigraphs the
+/// lowest-index generator wins (deterministic words).
+int arc_generator(const NetworkView& view, std::uint64_t u, std::uint64_t v) {
+  std::array<std::uint64_t, kMaxCompiledDegree> buf;
+  const int d = view.expand_neighbors(u, buf.data());
+  for (int j = 0; j < d; ++j) {
+    if (buf[j] == v) return j;
+  }
+  return -1;
+}
+
+RouteOutcome unreachable(std::string reason, RouteOutcome out) {
+  out.status = RouteOutcome::Status::kUnreachable;
+  out.reason = std::move(reason);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint64_t>> node_disjoint_paths(
+    const NetworkSpec& net, std::uint64_t s, std::uint64_t t,
+    std::uint64_t max_nodes) {
+  const std::uint64_t n = net.num_nodes();
+  if (n > max_nodes) {
+    throw std::invalid_argument(
+        "node_disjoint_paths: network exceeds max_nodes");
+  }
+  if (s == t) return {};
+  const NetworkView view = NetworkView::of(net);
+
+  // Node-splitting unit-capacity max-flow: u_in = 2u, u_out = 2u+1; the
+  // splitting arc carries capacity 1 (unbounded for the terminals), every
+  // graph arc u->v becomes u_out -> v_in with capacity 1.  The max flow
+  // s_out -> t_in is the number of internally node-disjoint s-t paths
+  // (degree for these maximally connected Cayley graphs).
+  struct Arc {
+    std::uint32_t to;
+    std::uint32_t rev;
+    std::uint8_t cap;
+    bool fwd;  // true for original arcs, false for residual reverses
+  };
+  std::vector<std::vector<Arc>> adj(2 * n);
+  auto add_arc = [&](std::uint64_t a, std::uint64_t b, std::uint8_t cap) {
+    adj[a].push_back(Arc{static_cast<std::uint32_t>(b),
+                         static_cast<std::uint32_t>(adj[b].size()), cap, true});
+    adj[b].push_back(Arc{static_cast<std::uint32_t>(a),
+                         static_cast<std::uint32_t>(adj[a].size() - 1), 0,
+                         false});
+  };
+  {
+    std::array<std::uint64_t, kMaxCompiledDegree> buf;
+    for (std::uint64_t u = 0; u < n; ++u) {
+      add_arc(2 * u, 2 * u + 1, (u == s || u == t) ? 255 : 1);
+      const int d = view.expand_neighbors(u, buf.data());
+      for (int j = 0; j < d; ++j) {
+        add_arc(2 * u + 1, 2 * buf[j], 1);
+      }
+    }
+  }
+  const std::uint64_t src = 2 * s + 1;
+  const std::uint64_t dst = 2 * t;
+  for (;;) {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> parent(
+        2 * n, {UINT32_MAX, UINT32_MAX});
+    std::queue<std::uint64_t> q;
+    q.push(src);
+    parent[src] = {static_cast<std::uint32_t>(src), UINT32_MAX};
+    while (!q.empty() && parent[dst].first == UINT32_MAX) {
+      const std::uint64_t u = q.front();
+      q.pop();
+      for (std::uint32_t i = 0; i < adj[u].size(); ++i) {
+        const Arc& a = adj[u][i];
+        if (a.cap == 0 || parent[a.to].first != UINT32_MAX) continue;
+        parent[a.to] = {static_cast<std::uint32_t>(u), i};
+        q.push(a.to);
+      }
+    }
+    if (parent[dst].first == UINT32_MAX) break;
+    std::uint64_t v = dst;
+    while (v != src) {
+      const auto [u, ai] = parent[v];
+      Arc& a = adj[u][ai];
+      --a.cap;
+      ++adj[v][a.rev].cap;
+      v = u;
+    }
+  }
+
+  // Decompose: a graph arc u_out -> v_in (fwd, even target) carries flow iff
+  // its residual capacity dropped to 0.  Interior nodes pass at most one
+  // unit, so following saturated arcs (consuming them) from s traces each
+  // path.
+  const auto carries_flow = [](const Arc& a) {
+    return a.fwd && a.cap == 0 && (a.to & 1) == 0;
+  };
+  std::vector<std::vector<std::uint64_t>> paths;
+  for (Arc& first : adj[src]) {
+    if (!carries_flow(first)) continue;
+    first.cap = 1;  // consume
+    std::vector<std::uint64_t> path{s};
+    std::uint64_t at = first.to / 2;
+    while (at != t) {
+      path.push_back(at);
+      bool advanced = false;
+      for (Arc& a : adj[2 * at + 1]) {
+        if (!carries_flow(a)) continue;
+        a.cap = 1;
+        at = a.to / 2;
+        advanced = true;
+        break;
+      }
+      if (!advanced) {
+        throw std::logic_error("node_disjoint_paths: broken flow decomposition");
+      }
+    }
+    path.push_back(t);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+std::vector<Generator> word_from_path(const NetworkSpec& net,
+                                      const std::vector<std::uint64_t>& path) {
+  const NetworkView view = NetworkView::of(net);
+  std::vector<Generator> word;
+  word.reserve(path.empty() ? 0 : path.size() - 1);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const int gi = arc_generator(view, path[i], path[i + 1]);
+    if (gi < 0) {
+      throw std::invalid_argument("word_from_path: consecutive ranks " +
+                                  std::to_string(path[i]) + " -> " +
+                                  std::to_string(path[i + 1]) +
+                                  " are not adjacent");
+    }
+    word.push_back(net.generators[static_cast<std::size_t>(gi)]);
+  }
+  return word;
+}
+
+FaultRouter::FaultRouter(const NetworkSpec& net, FaultRouterConfig cfg)
+    : net_(&net), view_(NetworkView::of(net)), cfg_(cfg) {}
+
+const std::vector<std::vector<std::uint64_t>>& FaultRouter::backups(
+    std::uint64_t s, std::uint64_t t) const {
+  std::lock_guard<std::mutex> lock(backup_mu_);
+  auto it = backup_cache_.find({s, t});
+  if (it != backup_cache_.end()) return it->second;
+  std::vector<std::vector<std::uint64_t>> paths;
+  if (net_->num_nodes() <= cfg_.backup_node_limit) {
+    paths = node_disjoint_paths(*net_, s, t, cfg_.backup_node_limit);
+  }
+  return backup_cache_.emplace(std::make_pair(s, t), std::move(paths))
+      .first->second;
+}
+
+RouteOutcome FaultRouter::route(std::uint64_t from, std::uint64_t to,
+                                const FaultSet& faults) const {
+  const int k = net_->k();
+  return route(Permutation::unrank(k, from), Permutation::unrank(k, to),
+               faults);
+}
+
+RouteOutcome FaultRouter::route(const Permutation& from, const Permutation& to,
+                                const FaultSet& faults) const {
+  RouteOutcome out;
+  const std::uint64_t s = from.rank();
+  const std::uint64_t t = to.rank();
+  out.path.push_back(s);
+  if (faults.node_failed(s)) return unreachable("source node failed", std::move(out));
+  if (faults.node_failed(t)) {
+    return unreachable("destination node failed", std::move(out));
+  }
+  if (s == t) {
+    out.status = RouteOutcome::Status::kDelivered;
+    return out;
+  }
+
+  // Stage 1+2: walk the game-theoretic route, locally repairing blocked hops.
+  Permutation cur = from;
+  std::uint64_t cur_rank = s;
+  std::unordered_set<std::uint64_t> on_path{s};
+  std::vector<Generator> pending = scg::route(*net_, from, to);
+  const std::size_t hop_budget =
+      static_cast<std::size_t>(cfg_.hop_budget_factor) *
+          (pending.size() + static_cast<std::size_t>(net_->k())) +
+      16;
+  std::size_t pi = 0;
+  bool exhausted = false;
+  std::array<std::uint64_t, kMaxCompiledDegree> buf;
+  while (!exhausted) {
+    if (cur_rank == t) {
+      out.status = RouteOutcome::Status::kDelivered;
+      return out;
+    }
+    if (out.word.size() >= hop_budget) break;
+    if (pi == pending.size()) {
+      pending = scg::route(*net_, cur, to);
+      pi = 0;
+      continue;
+    }
+    const Permutation nxt = pending[pi].applied(cur);
+    const std::uint64_t nxt_rank = nxt.rank();
+    if (!faults.blocks(cur_rank, nxt_rank)) {
+      out.word.push_back(pending[pi]);
+      out.path.push_back(nxt_rank);
+      on_path.insert(nxt_rank);
+      cur = nxt;
+      cur_rank = nxt_rank;
+      ++pi;
+      continue;
+    }
+    // Blocked hop: deroute through the surviving generator whose re-routed
+    // remainder is shortest, never re-entering a node already on the path
+    // (the BFS fallback keeps completeness when that exclusion over-prunes).
+    if (++out.repairs > cfg_.repair_budget) break;
+    const int d = view_.expand_neighbors(cur_rank, buf.data());
+    int best_gi = -1;
+    int best_len = std::numeric_limits<int>::max();
+    for (int gi = 0; gi < d; ++gi) {
+      const std::uint64_t v = buf[gi];
+      if (faults.blocks(cur_rank, v) || on_path.count(v)) continue;
+      const Generator& g = net_->generators[static_cast<std::size_t>(gi)];
+      const int len = route_length(*net_, g.applied(cur), to);
+      if (len < best_len) {
+        best_len = len;
+        best_gi = gi;
+      }
+    }
+    if (best_gi < 0) break;  // locally stuck: escalate
+    const Generator& g = net_->generators[static_cast<std::size_t>(best_gi)];
+    g.apply(cur);
+    cur_rank = buf[best_gi];
+    out.word.push_back(g);
+    out.path.push_back(cur_rank);
+    on_path.insert(cur_rank);
+    pending = scg::route(*net_, cur, to);
+    pi = 0;
+  }
+
+  // Stage 3: precomputed node-disjoint backup routes, whole-path from the
+  // source.  With <= degree-1 failed links at least one of the degree-many
+  // disjoint paths is untouched.
+  if (cfg_.use_disjoint_backups && net_->num_nodes() <= cfg_.backup_node_limit) {
+    for (const std::vector<std::uint64_t>& p : backups(s, t)) {
+      bool alive = true;
+      for (std::size_t i = 0; alive && i + 1 < p.size(); ++i) {
+        if (faults.blocks(p[i], p[i + 1])) alive = false;
+      }
+      if (!alive) continue;
+      RouteOutcome backup;
+      backup.status = RouteOutcome::Status::kDelivered;
+      backup.path = p;
+      backup.word = word_from_path(*net_, p);
+      backup.repairs = out.repairs;
+      backup.used_backup = true;
+      return backup;
+    }
+  }
+
+  // Stage 4: complete fallback — BFS over the fault-filtered view from the
+  // packet's current position, splicing onto the hops already walked.
+  return bfs_fallback(cur_rank, t, faults, std::move(out));
+}
+
+RouteOutcome FaultRouter::bfs_fallback(std::uint64_t cur, std::uint64_t t,
+                                       const FaultSet& faults,
+                                       RouteOutcome walked) const {
+  const std::uint64_t n = net_->num_nodes();
+  if (n > cfg_.bfs_node_limit || n > UINT32_MAX) {
+    return unreachable("network exceeds the fallback BFS size limit",
+                       std::move(walked));
+  }
+  walked.used_bfs_fallback = true;
+  const FaultFiltered<NetworkView> filtered(view_, faults);
+  constexpr std::uint32_t kNone = UINT32_MAX;
+  std::vector<std::uint32_t> parent(n, kNone);
+  std::vector<std::uint64_t> frontier{cur};
+  std::vector<std::uint64_t> next;
+  parent[cur] = static_cast<std::uint32_t>(cur);
+  std::array<std::uint64_t, kMaxCompiledDegree> buf;
+  bool found = cur == t;
+  while (!found && !frontier.empty()) {
+    next.clear();
+    for (const std::uint64_t u : frontier) {
+      const int d = filtered.expand_neighbors(u, buf.data());
+      for (int j = 0; j < d; ++j) {
+        const std::uint64_t v = buf[j];
+        if (parent[v] != kNone) continue;
+        parent[v] = static_cast<std::uint32_t>(u);
+        if (v == t) {
+          found = true;
+          break;
+        }
+        next.push_back(v);
+      }
+      if (found) break;
+    }
+    frontier.swap(next);
+  }
+  if (!found) {
+    return unreachable("no surviving path (network disconnected by faults)",
+                       std::move(walked));
+  }
+  std::vector<std::uint64_t> tail;
+  for (std::uint64_t v = t; v != cur; v = parent[v]) tail.push_back(v);
+  std::reverse(tail.begin(), tail.end());
+  std::uint64_t prev = cur;
+  for (const std::uint64_t v : tail) {
+    const int gi = arc_generator(view_, prev, v);
+    if (gi < 0) {
+      throw std::logic_error("fault router: BFS tree edge is not a generator");
+    }
+    walked.word.push_back(net_->generators[static_cast<std::size_t>(gi)]);
+    walked.path.push_back(v);
+    prev = v;
+  }
+  walked.status = RouteOutcome::Status::kDelivered;
+  return walked;
+}
+
+}  // namespace scg

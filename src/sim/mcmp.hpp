@@ -11,12 +11,20 @@
 // This preserves exactly what the paper's claims depend on: the number of
 // intercluster transmissions per packet and the bandwidth-limited completion
 // time of communication-intensive workloads.
+// Degradation-under-failure extension: simulate_mcmp_faulty threads a fault
+// schedule through the same event loop — links die mid-run, packets that hit
+// a dead link time out, re-route around the failure (via a pluggable
+// Rerouter, usually the fault-aware router) and retransmit with exponential
+// backoff; the result reports delivered fraction, retransmissions, latency
+// percentiles and path stretch instead of crashing on the first dead hop.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "networks/fault_router.hpp"
+#include "topology/fault_set.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
@@ -48,5 +56,63 @@ struct SimResult {
 SimResult simulate_mcmp(const Graph& g,
                         const std::function<bool(std::int32_t)>& is_offchip,
                         std::vector<SimPacket> packets, const SimConfig& cfg);
+
+// ---- degradation under failure ----
+
+/// One scheduled link kill: from cycle `time` on, the u<->v channel is dead
+/// in both directions.
+struct LinkFault {
+  std::uint64_t time = 0;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+};
+
+/// Computes a repaired node path `at..dst` avoiding `faults`, or an empty
+/// vector when no surviving route exists.
+using Rerouter = std::function<std::vector<std::uint32_t>(
+    std::uint64_t at, std::uint64_t dst, const FaultSet& faults)>;
+
+/// Adapts the fault-aware router into the simulator's Rerouter slot.  The
+/// router must outlive the returned callable.
+Rerouter make_rerouter(const FaultRouter& router);
+
+struct FaultSimConfig {
+  int onchip_cycles = 1;
+  int offchip_cycles = 1;
+  int timeout_cycles = 4;    ///< detection delay when a hop is dead
+  int max_retransmits = 8;   ///< rerouting attempts before dropping
+  int backoff_base = 2;      ///< first retry waits base, then doubles...
+  int backoff_cap = 1024;    ///< ...up to this many cycles
+  std::uint64_t max_cycles = std::uint64_t{1} << 32;  ///< hard stop
+};
+
+struct FaultSimResult {
+  std::uint64_t packets = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;            ///< unreachable or budget exhausted
+  double delivered_fraction = 1.0;
+  std::uint64_t timeouts = 0;           ///< dead-hop detections
+  std::uint64_t retransmissions = 0;    ///< successful re-route + resend
+  std::uint64_t completion_cycles = 0;  ///< last delivery
+  double avg_latency = 0.0;             ///< delivered packets only
+  std::uint64_t p50_latency = 0;
+  std::uint64_t p99_latency = 0;
+  double avg_stretch = 0.0;  ///< hops walked / pristine path hops (delivered)
+  double max_stretch = 0.0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t offchip_hops = 0;
+  double max_link_busy = 0.0;
+};
+
+/// simulate_mcmp with a fault schedule.  Faults accumulate: once dead, a
+/// link stays dead.  A packet reaching a dead hop waits `timeout_cycles`,
+/// asks `reroute` for a repaired path from its current node under the
+/// then-current FaultSet, and retransmits after exponential backoff; it is
+/// dropped (not crashed on) after `max_retransmits` attempts or when no
+/// surviving route exists.  Deterministic given packets + schedule.
+FaultSimResult simulate_mcmp_faulty(
+    const Graph& g, const std::function<bool(std::int32_t)>& is_offchip,
+    std::vector<SimPacket> packets, std::vector<LinkFault> schedule,
+    const Rerouter& reroute, const FaultSimConfig& cfg);
 
 }  // namespace scg

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <queue>
-#include <random>
-#include <set>
+#include <stdexcept>
 
 #include "topology/bfs.hpp"
 #include "topology/metrics.hpp"
@@ -11,30 +10,42 @@
 namespace scg {
 namespace {
 
-std::set<std::pair<std::uint64_t, std::uint64_t>> arc_set(
-    const Graph& g,
-    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs) {
-  std::set<std::pair<std::uint64_t, std::uint64_t>> dead(failed_arcs.begin(),
-                                                         failed_arcs.end());
-  if (!g.directed()) {
-    for (const auto& [a, b] : failed_arcs) dead.emplace(b, a);
+/// A distinct physical channel of `g`.  When the reverse arc exists (always
+/// for undirected graphs, and for materialize()d undirected networks stored
+/// as symmetric directed arcs) both directions belong to one bidirectional
+/// channel and fail together; otherwise the channel is the lone arc.
+/// Parallel arcs between the same endpoints collapse to one channel — a
+/// fault addresses the physical link, matching FaultSet semantics.
+struct Channel {
+  std::uint64_t u, v;
+  bool bidirectional;
+  auto operator<=>(const Channel&) const = default;
+};
+
+std::vector<Channel> physical_links(const Graph& g) {
+  std::vector<Channel> links;
+  links.reserve(g.num_links());
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      bool both = !g.directed();
+      if (g.directed()) both = g.find_arc(v, u) != g.num_links();
+      if (both && v < u) return;  // count the pair from its smaller endpoint
+      links.push_back(Channel{u, v, both});
+    });
   }
-  return dead;
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
 }
 
 }  // namespace
 
-Graph with_faults(const Graph& g, const std::vector<std::uint64_t>& failed_nodes,
-                  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs) {
-  std::vector<std::uint8_t> node_dead(g.num_nodes(), 0);
-  for (const std::uint64_t u : failed_nodes) node_dead[u] = 1;
-  const auto dead = arc_set(g, failed_arcs);
+Graph with_faults(const Graph& g, const FaultSet& faults) {
   std::vector<Graph::Edge> edges;
   for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
-    if (node_dead[u]) continue;
+    if (faults.node_failed(u)) continue;
     g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t tag) {
-      if (node_dead[v]) return;
-      if (dead.count({u, v})) return;
+      if (faults.blocks(u, v)) return;
       // Keep each undirected edge once (the CSR stores both directions).
       if (!g.directed() && v < u) return;
       edges.push_back(Graph::Edge{u, v, tag});
@@ -43,16 +54,18 @@ Graph with_faults(const Graph& g, const std::vector<std::uint64_t>& failed_nodes
   return Graph::build(g.num_nodes(), g.directed(), edges);
 }
 
-bool connected_after_faults(
-    const Graph& g, const std::vector<std::uint64_t>& failed_nodes,
-    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs) {
-  const Graph h = with_faults(g, failed_nodes, failed_arcs);
-  std::vector<std::uint8_t> node_dead(g.num_nodes(), 0);
-  for (const std::uint64_t u : failed_nodes) node_dead[u] = 1;
+Graph with_faults(const Graph& g, const std::vector<std::uint64_t>& failed_nodes,
+                  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs) {
+  return with_faults(
+      g, FaultSet::of(failed_nodes, failed_arcs, /*undirected_links=*/!g.directed()));
+}
+
+bool connected_after_faults(const Graph& g, const FaultSet& faults) {
+  const Graph h = with_faults(g, faults);
   std::uint64_t src = g.num_nodes();
   std::uint64_t alive = 0;
   for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
-    if (!node_dead[u]) {
+    if (!faults.node_failed(u)) {
       ++alive;
       if (src == g.num_nodes()) src = u;
     }
@@ -61,13 +74,20 @@ bool connected_after_faults(
   const auto check = [&](const Graph& graph) {
     const auto dist = bfs_distances(graph, src);
     for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
-      if (!node_dead[u] && dist[u] == kUnreached) return false;
+      if (!faults.node_failed(u) && dist[u] == kUnreached) return false;
     }
     return true;
   };
   if (!check(h)) return false;
   if (h.directed() && !check(h.reversed())) return false;
   return true;
+}
+
+bool connected_after_faults(
+    const Graph& g, const std::vector<std::uint64_t>& failed_nodes,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs) {
+  return connected_after_faults(
+      g, FaultSet::of(failed_nodes, failed_arcs, /*undirected_links=*/!g.directed()));
 }
 
 std::uint64_t edge_connectivity_pair(const Graph& g, std::uint64_t s,
@@ -205,32 +225,60 @@ std::uint64_t vertex_connectivity(const Graph& g) {
   return best;
 }
 
+FaultSet sample_random_faults(const Graph& g, int node_failures,
+                              int link_failures, std::mt19937_64& rng) {
+  if (node_failures < 0 || link_failures < 0) {
+    throw std::invalid_argument("sample_random_faults: negative count");
+  }
+  FaultSet faults;
+  // Nodes: rejection sampling against the set built so far stays cheap while
+  // the request is far below the population; switch to a partial
+  // Fisher-Yates when it is not.
+  const std::uint64_t n = g.num_nodes();
+  const std::uint64_t want_nodes =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(node_failures), n);
+  if (want_nodes * 2 >= n) {
+    std::vector<std::uint64_t> ids(n);
+    for (std::uint64_t u = 0; u < n; ++u) ids[u] = u;
+    for (std::uint64_t i = 0; i < want_nodes; ++i) {
+      std::uniform_int_distribution<std::uint64_t> pick(i, n - 1);
+      std::swap(ids[i], ids[pick(rng)]);
+      faults.fail_node(ids[i]);
+    }
+  } else if (want_nodes > 0) {
+    std::uniform_int_distribution<std::uint64_t> pick(0, n - 1);
+    while (faults.num_failed_nodes() < want_nodes) {
+      faults.fail_node(pick(rng));
+    }
+  }
+  if (link_failures > 0) {
+    // Links: enumerate the distinct physical channels once, then draw a
+    // uniform sample without replacement by partial Fisher-Yates.
+    std::vector<Channel> links = physical_links(g);
+    const std::size_t want_links = std::min<std::size_t>(
+        static_cast<std::size_t>(link_failures), links.size());
+    for (std::size_t i = 0; i < want_links; ++i) {
+      std::uniform_int_distribution<std::size_t> pick(i, links.size() - 1);
+      std::swap(links[i], links[pick(rng)]);
+      if (links[i].bidirectional) {
+        faults.fail_link(links[i].u, links[i].v);
+      } else {
+        faults.fail_arc(links[i].u, links[i].v);
+      }
+    }
+  }
+  return faults;
+}
+
 double random_fault_survival_rate(const Graph& g, int node_failures,
                                   int link_failures, int trials,
                                   std::uint64_t seed) {
   std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::uint64_t> pick_node(0, g.num_nodes() - 1);
   int survived = 0;
   for (int t = 0; t < trials; ++t) {
-    std::vector<std::uint64_t> nodes;
-    for (int i = 0; i < node_failures; ++i) nodes.push_back(pick_node(rng));
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> arcs;
-    for (int i = 0; i < link_failures; ++i) {
-      // Pick a random node, then a random incident arc.
-      for (int attempt = 0; attempt < 64; ++attempt) {
-        const std::uint64_t u = pick_node(rng);
-        const std::uint64_t deg = g.out_degree(u);
-        if (deg == 0) continue;
-        std::uniform_int_distribution<std::uint64_t> pick_arc(0, deg - 1);
-        const std::uint64_t slot = pick_arc(rng);
-        std::uint64_t idx = 0;
-        g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
-          if (idx++ == slot) arcs.emplace_back(u, v);
-        });
-        break;
-      }
-    }
-    if (connected_after_faults(g, nodes, arcs)) ++survived;
+    const FaultSet faults =
+        sample_random_faults(g, node_failures, link_failures, rng);
+    if (connected_after_faults(g, faults)) ++survived;
   }
   return trials > 0 ? static_cast<double>(survived) / trials : 1.0;
 }

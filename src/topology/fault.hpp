@@ -1,29 +1,39 @@
 // Fault tolerance analysis — the introduction lists fault tolerance among
 // the star graph's desirable properties that super Cayley graphs inherit.
 //
-// Facts verified empirically here:
+// Facts verified empirically here (and regression-tested in fault_test):
 //  * a connected vertex-symmetric (Cayley) graph has edge connectivity equal
 //    to its degree (Mader/Watkins), so up to degree-1 link failures never
 //    disconnect a super Cayley graph;
+//  * the small super Cayley instances are maximally node-connected too
+//    (vertex connectivity == degree), giving degree-many node-disjoint
+//    routes (see networks/fault_router.hpp for their construction);
 //  * random node/link failures far below that threshold leave the network
 //    connected with high probability.
 #pragma once
 
 #include <cstdint>
+#include <random>
 #include <vector>
 
+#include "topology/fault_set.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
 
-/// Copy of `g` with the given nodes removed (their links dropped) and the
-/// given arcs removed.  `failed_arcs` lists (from,to) pairs; for undirected
+/// Copy of `g` restricted to survivors: failed nodes keep their ids but lose
+/// every incident link; failed arcs are dropped (both directions for
+/// undirected graphs when the FaultSet was built with fail_link).
+Graph with_faults(const Graph& g, const FaultSet& faults);
+
+/// Legacy signature: `failed_arcs` lists (from,to) pairs; for undirected
 /// graphs both directions are dropped.
 Graph with_faults(const Graph& g, const std::vector<std::uint64_t>& failed_nodes,
                   const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs);
 
 /// True if every surviving node can reach every other (ignoring removed
 /// nodes).  For directed graphs checks strong connectivity.
+bool connected_after_faults(const Graph& g, const FaultSet& faults);
 bool connected_after_faults(const Graph& g,
                             const std::vector<std::uint64_t>& failed_nodes,
                             const std::vector<std::pair<std::uint64_t, std::uint64_t>>& failed_arcs);
@@ -48,9 +58,20 @@ std::uint64_t vertex_connectivity_pair(const Graph& g, std::uint64_t s,
 /// graphs).  O(N^2) max-flows — small graphs only (N <= ~200).
 std::uint64_t vertex_connectivity(const Graph& g);
 
+/// Samples `node_failures` distinct nodes and `link_failures` distinct links
+/// *without replacement* (uniformly over nodes resp. links: every physical
+/// link is equally likely regardless of endpoint degrees).  A sampled link
+/// whose reverse arc exists — always for undirected graphs, and for
+/// materialize()d undirected networks stored as symmetric directed arcs —
+/// fails in both directions; a one-way arc fails alone.  Requests exceeding
+/// the population fail everything.
+FaultSet sample_random_faults(const Graph& g, int node_failures,
+                              int link_failures, std::mt19937_64& rng);
+
 /// Monte-Carlo fault experiment: fail `link_failures` random links (and
-/// `node_failures` random nodes) `trials` times; returns the fraction of
-/// trials where the survivors stay connected.
+/// `node_failures` random nodes) `trials` times, each drawn without
+/// replacement; returns the fraction of trials where the survivors stay
+/// connected.
 double random_fault_survival_rate(const Graph& g, int node_failures,
                                   int link_failures, int trials,
                                   std::uint64_t seed = 1234);

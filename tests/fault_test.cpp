@@ -1,10 +1,17 @@
 // Fault tolerance: edge connectivity of Cayley graphs equals degree
 // (connected vertex-symmetric graphs are maximally edge-connected), fault
-// injection, and survival under random failures.
+// injection, FaultSet semantics, fault-filtered views, and survival under
+// random failures sampled without replacement.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
+#include "networks/view.hpp"
 #include "topology/baselines.hpp"
+#include "topology/bfs.hpp"
 #include "topology/fault.hpp"
+#include "topology/fault_set.hpp"
 #include "topology/metrics.hpp"
 
 namespace scg {
@@ -73,6 +80,94 @@ TEST(VertexConnectivity, SuperCayleyAtSmallSize) {
   // MS(3,1): degree 3 Cayley graph of S4; kappa == 3.
   const Graph g2 = materialize(make_macro_star(3, 1));
   EXPECT_EQ(vertex_connectivity(g2), 3u);
+}
+
+TEST(Connectivity, EqualsDegreeOnSuperCayleyInstances) {
+  // Regression for the Mader/Watkins fact stated in fault.hpp: on the small
+  // MS/RS/IS instances both edge connectivity AND vertex connectivity equal
+  // the degree (maximal fault tolerance: degree-many disjoint routes).
+  for (const NetworkSpec& net :
+       {make_macro_star(2, 2), make_rotation_star(2, 2),
+        make_insertion_selection(4), make_macro_star(3, 1)}) {
+    ASSERT_FALSE(net.directed) << net.name;
+    const Graph g = materialize(net);
+    EXPECT_EQ(edge_connectivity(g), static_cast<std::uint64_t>(net.degree()))
+        << net.name;
+    EXPECT_EQ(vertex_connectivity(g), static_cast<std::uint64_t>(net.degree()))
+        << net.name;
+  }
+}
+
+TEST(FaultSetType, MembershipAndBlocking) {
+  FaultSet f;
+  EXPECT_TRUE(f.empty());
+  f.fail_node(3);
+  f.fail_link(1, 2);
+  f.fail_arc(5, 6);
+  EXPECT_TRUE(f.node_failed(3));
+  EXPECT_FALSE(f.node_failed(1));
+  EXPECT_TRUE(f.arc_failed(1, 2));
+  EXPECT_TRUE(f.arc_failed(2, 1));  // link fails both directions
+  EXPECT_TRUE(f.arc_failed(5, 6));
+  EXPECT_FALSE(f.arc_failed(6, 5));  // arc fails one direction
+  EXPECT_TRUE(f.blocks(1, 2));
+  EXPECT_TRUE(f.blocks(3, 0));   // failed endpoint blocks every hop
+  EXPECT_TRUE(f.blocks(0, 3));
+  EXPECT_FALSE(f.blocks(0, 1));
+  EXPECT_EQ(f.num_failed_nodes(), 1u);
+  EXPECT_EQ(f.num_failed_arcs(), 3u);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FaultFilteredView, MatchesWithFaultsGraph) {
+  // BFS over the fault-filtered implicit view must agree with BFS over the
+  // materialized faulty graph, for every surviving node.
+  const NetworkSpec net = make_macro_star(2, 2);
+  const Graph g = materialize(net);
+  const NetworkView view = NetworkView::of(net);
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    const FaultSet faults = sample_random_faults(g, 1, 2, rng);
+    const Graph h = with_faults(g, faults);
+    const FaultFiltered<NetworkView> filtered(view, faults);
+    std::uint64_t src = 0;
+    while (faults.node_failed(src)) ++src;
+    const auto dg = bfs_distances(h, src);
+    const auto dv = bfs_distances(filtered, src);
+    for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+      if (faults.node_failed(u)) continue;
+      EXPECT_EQ(dg[u], dv[u]) << "node " << u;
+    }
+  }
+}
+
+TEST(SampleRandomFaults, DrawsWithoutReplacement) {
+  // ring(6) has exactly 6 physical links: requesting all 6 must fail all 6
+  // (duplicate draws would silently under-fail), disconnecting everything.
+  const Graph g = make_ring(6);
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const FaultSet f = sample_random_faults(g, 0, 6, rng);
+    EXPECT_EQ(f.num_failed_arcs(), 12u);  // 6 links, both directions
+    EXPECT_FALSE(connected_after_faults(g, f));
+  }
+  // Node draws are distinct too: requesting every node kills every node.
+  const FaultSet all = sample_random_faults(g, 6, 0, rng);
+  EXPECT_EQ(all.num_failed_nodes(), 6u);
+  // Over-requests cap at the population instead of looping forever.
+  const FaultSet over = sample_random_faults(g, 10, 10, rng);
+  EXPECT_EQ(over.num_failed_nodes(), 6u);
+  EXPECT_EQ(over.num_failed_arcs(), 12u);
+}
+
+TEST(SampleRandomFaults, ExactCountsBelowThreshold) {
+  const NetworkSpec net = make_macro_star(2, 2);
+  const Graph g = materialize(net);
+  std::mt19937_64 rng(17);
+  const FaultSet f = sample_random_faults(g, 3, 5, rng);
+  EXPECT_EQ(f.num_failed_nodes(), 3u);
+  EXPECT_EQ(f.num_failed_arcs(), 10u);  // 5 undirected links
 }
 
 TEST(WithFaults, RemovesNodesAndLinks) {
