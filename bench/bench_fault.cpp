@@ -19,6 +19,8 @@
 #include "topology/fault.hpp"
 #include "topology/metrics.hpp"
 
+#include "json_out.hpp"
+
 namespace {
 
 using scg::FaultRouter;
@@ -27,49 +29,8 @@ using scg::Graph;
 using scg::NetworkSpec;
 using scg::RouteOutcome;
 
-// Tiny append-only JSON document builder (objects in arrays in one object).
-struct Json {
-  std::string out = "{\n";
-  bool first_section = true;
-  void begin_array(const char* name) {
-    out += first_section ? "" : ",\n";
-    first_section = false;
-    out += "  \"" + std::string(name) + "\": [\n";
-    first_row = true;
-  }
-  void end_array() { out += "\n  ]"; }
-  void row(const std::string& fields) {
-    out += first_row ? "" : ",\n";
-    first_row = false;
-    out += "    {" + fields + "}";
-  }
-  void finish(const char* path) {
-    out += "\n}\n";
-    if (std::FILE* f = std::fopen(path, "w")) {
-      std::fwrite(out.data(), 1, out.size(), f);
-      std::fclose(f);
-      std::printf("\nwrote %s\n", path);
-    } else {
-      std::printf("\ncannot write %s\n", path);
-    }
-  }
-  bool first_row = true;
-};
-
-std::string kv(const char* k, double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "\"%s\": %.6g", k, v);
-  return buf;
-}
-std::string kv(const char* k, std::uint64_t v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "\"%s\": %llu", k,
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-std::string kv(const char* k, const std::string& v) {
-  return "\"" + std::string(k) + "\": \"" + v + "\"";
-}
+using benchjson::Json;
+using benchjson::kv;
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> links_of(const Graph& g) {
   std::vector<std::pair<std::uint64_t, std::uint64_t>> links;

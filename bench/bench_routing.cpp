@@ -5,11 +5,18 @@
 #include <cstdio>
 #include <random>
 
+#include "analysis/oracle_audit.hpp"
 #include "analysis/sweeps.hpp"
 #include "networks/router.hpp"
+#include "oracle/oracle.hpp"
 #include "topology/metrics.hpp"
 
 namespace {
+
+/// Families up to this many nodes additionally get a full distance-oracle
+/// build and an exact optimality audit (table + audit cost one retrograde
+/// BFS plus one routed sweep — cheap at these sizes).
+constexpr std::uint64_t kOracleAuditLimit = 1'000'000;
 
 void report_optimality(const scg::NetworkSpec& net) {
   // Stretch = solver_steps / bfs_distance per source, routed to the identity.
@@ -18,6 +25,18 @@ void report_optimality(const scg::NetworkSpec& net) {
               "optimal-routes=%.1f%%\n",
               net.name.c_str(), static_cast<unsigned long long>(net.num_nodes()),
               s.avg_stretch, s.max_stretch, 100.0 * s.optimal_fraction);
+  if (net.num_nodes() > kOracleAuditLimit) return;
+  // Oracle-exact cross-check: the same optimality numbers derived from the
+  // mod-3 distance table, plus the worst absolute gap from optimal play.
+  // Any disagreement with measure_stretch means a distance bug.
+  const scg::DistanceOracle oracle = scg::DistanceOracle::build(net);
+  const scg::OptimalityAudit a = scg::audit_route_optimality(net, oracle);
+  const bool agree = a.optimal_fraction() == s.optimal_fraction &&
+                     a.max_stretch == s.max_stretch;
+  std::printf("  oracle-exact:      avg-stretch=%-6.3f max-stretch=%-6.2f "
+              "optimal-routes=%.1f%% max-gap=%d hops  agree=%s\n",
+              a.avg_stretch, a.max_stretch, 100.0 * a.optimal_fraction(),
+              a.max_gap, agree ? "yes" : "NO (distance bug!)");
 }
 
 void report_offset_gain(int l, int n) {

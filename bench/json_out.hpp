@@ -1,0 +1,56 @@
+// Tiny append-only JSON document builder shared by the bench binaries that
+// emit machine-readable baselines (objects in arrays in one object).  Not a
+// general JSON library — just enough structure for bench/baseline_*.json.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace benchjson {
+
+struct Json {
+  std::string out = "{\n";
+  bool first_section = true;
+  bool first_row = true;
+
+  void begin_array(const char* name) {
+    out += first_section ? "" : ",\n";
+    first_section = false;
+    out += "  \"" + std::string(name) + "\": [\n";
+    first_row = true;
+  }
+  void end_array() { out += "\n  ]"; }
+  void row(const std::string& fields) {
+    out += first_row ? "" : ",\n";
+    first_row = false;
+    out += "    {" + fields + "}";
+  }
+  void finish(const char* path) {
+    out += "\n}\n";
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      std::printf("\nwrote %s\n", path);
+    } else {
+      std::printf("\ncannot write %s\n", path);
+    }
+  }
+};
+
+inline std::string kv(const char* k, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\": %.6g", k, v);
+  return buf;
+}
+inline std::string kv(const char* k, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\": %llu", k,
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+inline std::string kv(const char* k, const std::string& v) {
+  return "\"" + std::string(k) + "\": \"" + v + "\"";
+}
+
+}  // namespace benchjson

@@ -6,10 +6,15 @@
 //   scg_cli dot <family> <l> <n>                  Graphviz DOT on stdout
 //   scg_cli histogram <family> <l> <n>            distance histogram (TSV)
 //   scg_cli families                              list known family names
+//   scg_cli oracle build <family> <l> <n> <out>   build + save exact-distance table
+//   scg_cli oracle query <family> <l> <n> <table> <from> <to>
+//                                                 exact distance + optimal word
+//   scg_cli oracle stats <family> <l> <n> [table] exact diameter/average/histogram
 //
 // <family> ∈ {MS, RS, cRS, MR, RR, cRR, IS, MIS, RIS, cRIS, star, rotator,
 //             pancake, bubble, transposition}; permutations are digit
 //             strings like 5342671 (k <= 9).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +24,7 @@
 #include "analysis/bounds.hpp"
 #include "analysis/formulas.hpp"
 #include "networks/router.hpp"
+#include "oracle/oracle.hpp"
 #include "topology/io.hpp"
 #include "topology/metrics.hpp"
 
@@ -91,6 +97,92 @@ int cmd_trace(const scg::NetworkSpec& net, const std::string& from_s) {
   return 0;
 }
 
+void print_oracle_stats(const scg::DistanceOracle& oracle) {
+  std::printf("states=%llu reachable=%llu exact-diameter=%d "
+              "avg-distance=%.4f\n",
+              static_cast<unsigned long long>(oracle.num_states()),
+              static_cast<unsigned long long>(oracle.reachable_states()),
+              oracle.diameter(), oracle.average_distance());
+  scg::DistanceStats stats;
+  stats.nodes = oracle.num_states();
+  stats.reachable = oracle.reachable_states();
+  stats.eccentricity = oracle.diameter();
+  stats.average = oracle.average_distance();
+  stats.histogram = oracle.histogram();
+  scg::write_histogram_tsv(std::cout, stats);
+}
+
+int cmd_oracle(int argc, char** argv) {
+  if (argc < 6) {
+    std::fprintf(stderr,
+                 "usage: scg_cli oracle build <family> <l> <n> <out>\n"
+                 "       scg_cli oracle query <family> <l> <n> <table> <from> <to>\n"
+                 "       scg_cli oracle stats <family> <l> <n> [table]\n");
+    return 2;
+  }
+  const std::string sub = argv[2];
+  const scg::NetworkSpec net = make(argv[3], std::atoi(argv[4]), std::atoi(argv[5]));
+  if (sub == "build") {
+    if (argc < 7) {
+      std::fprintf(stderr, "usage: scg_cli oracle build <family> <l> <n> <out>\n");
+      return 2;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const scg::DistanceOracle oracle = scg::DistanceOracle::build(net);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    oracle.save(argv[6]);
+    std::printf("%s: built %llu states in %.3fs (%.2fM states/s), wrote %s\n",
+                net.name.c_str(),
+                static_cast<unsigned long long>(oracle.num_states()), secs,
+                static_cast<double>(oracle.num_states()) / secs / 1e6,
+                argv[6]);
+    std::printf("exact-diameter=%d avg-distance=%.4f\n", oracle.diameter(),
+                oracle.average_distance());
+    return 0;
+  }
+  if (sub == "query") {
+    if (argc < 9) {
+      std::fprintf(stderr,
+                   "usage: scg_cli oracle query <family> <l> <n> <table> "
+                   "<from> <to>\n");
+      return 2;
+    }
+    const scg::DistanceOracle oracle = scg::DistanceOracle::load(argv[6], net);
+    const scg::Permutation from = scg::Permutation::parse(argv[7]);
+    const scg::Permutation to = scg::Permutation::parse(argv[8]);
+    const int d = oracle.exact_distance(from, to);
+    if (d < 0) {
+      std::printf("%s -> %s: unreachable\n", argv[7], argv[8]);
+      return 1;
+    }
+    const auto word = oracle.optimal_route(from, to);
+    std::printf("%s -> %s: exact distance %d, optimal play:", argv[7],
+                argv[8], d);
+    for (const scg::Generator& g : word) std::printf(" %s", g.name().c_str());
+    std::printf("\n");
+    const std::string err = scg::check_route(net, from, to, word);
+    if (!err.empty()) {
+      std::fprintf(stderr, "internal error: %s\n", err.c_str());
+      return 1;
+    }
+    const int game = scg::route_length(net, from, to);
+    std::printf("game router: %d hops (gap %d)\n", game, game - d);
+    return 0;
+  }
+  if (sub == "stats") {
+    if (argc >= 7) {
+      print_oracle_stats(scg::DistanceOracle::load(argv[6], net));
+    } else {
+      print_oracle_stats(scg::DistanceOracle::build(net));
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "unknown oracle subcommand '%s'\n", sub.c_str());
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -100,6 +192,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "oracle") return cmd_oracle(argc, argv);
   if (cmd == "families") {
     std::printf("MS RS cRS MR RR cRR IS MIS RIS cRIS star rotator pancake "
                 "bubble transposition\n");

@@ -11,6 +11,12 @@ cmake --preset default
 cmake --build --preset default -j"$(nproc)"
 ctest --preset default -j"$(nproc)"
 
+echo "== oracle smoke: build + reload a tiny exact-distance table =="
+oracle_table="$(mktemp /tmp/scg-oracle.XXXXXX)"
+./build/examples/scg_cli oracle build MS 2 2 "$oracle_table"
+./build/examples/scg_cli oracle query MS 2 2 "$oracle_table" 53421 12345
+rm -f "$oracle_table"
+
 echo "== sanitizers: asan+ubsan build, fast tests =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"

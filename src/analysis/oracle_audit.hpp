@@ -1,0 +1,62 @@
+// Oracle-exact optimality audits: measure every router in the library
+// against provably optimal play (the paper's quality metric for a game
+// algorithm *is* its distance from optimal), and cross-check the oracle's
+// exact whole-graph statistics against the paper's closed-form bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "networks/super_cayley.hpp"
+#include "oracle/oracle.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace scg {
+
+/// Exact optimality of a router: word length vs oracle distance.
+struct OptimalityAudit {
+  std::uint64_t sources = 0;      ///< non-identity sources audited
+  std::uint64_t optimal = 0;      ///< routed at exactly the graph distance
+  double avg_stretch = 0.0;       ///< mean routed / exact
+  double max_stretch = 0.0;       ///< worst routed / exact
+  int max_gap = 0;                ///< worst routed - exact (absolute hops)
+  std::uint64_t worst_rank = 0;   ///< a source achieving max_gap
+
+  double optimal_fraction() const {
+    return sources ? static_cast<double>(optimal) / static_cast<double>(sources)
+                   : 0.0;
+  }
+};
+
+/// Audits the game router route() over every one of the k! sources (routed
+/// to the identity), comparing word lengths with oracle-exact distances.
+/// Parallel over sources.
+OptimalityAudit audit_route_optimality(const NetworkSpec& net,
+                                       const DistanceOracle& oracle,
+                                       ThreadPool* pool = nullptr);
+
+/// Exact audit of the FaultRouter's precomputed node-disjoint backup paths:
+/// for `pairs` random (s, t) pairs, every backup path length is compared
+/// against the oracle distance.  Backups trade length for disjointness, so
+/// stretch > 1 is expected; this quantifies exactly how much.
+struct BackupAudit {
+  std::uint64_t pairs = 0;
+  std::uint64_t paths = 0;          ///< total backup paths audited
+  double avg_stretch = 0.0;         ///< mean backup hops / exact distance
+  double max_stretch = 0.0;         ///< worst single backup path
+  double avg_best_stretch = 0.0;    ///< mean over pairs of the best backup
+};
+BackupAudit audit_backup_optimality(const NetworkSpec& net,
+                                    const DistanceOracle& oracle,
+                                    std::uint64_t pairs,
+                                    std::uint64_t seed = 42);
+
+/// Cross-checks the oracle's exact statistics against the paper's formulas
+/// and basic invariants: histogram sums to the reachable count, every state
+/// is reachable (strong connectivity), exact diameter <= the Section-4
+/// closed-form upper bound, and average <= diameter.  Returns "" when all
+/// hold, else a description of the first violation.
+std::string oracle_formula_crosscheck(const NetworkSpec& net,
+                                      const DistanceOracle& oracle);
+
+}  // namespace scg

@@ -1,0 +1,63 @@
+// OracleRouter — provably shortest routing by consulting the exact distance
+// oracle instead of playing the game heuristically.
+//
+// Where route() (router.hpp) replays the paper's game solvers — fast, but up
+// to the solver's stretch away from optimal — OracleRouter descends the
+// mod-3 distance table and emits a word whose length equals the exact graph
+// distance for every pair.  It is the "optimal play" reference router: the
+// audits in analysis/oracle_audit.hpp measure every other router against it.
+//
+// Building the oracle costs one retrograde BFS over all k! states, so this
+// router is for small-to-medium instances (k <= kMaxOracleSymbols) and for
+// amortised use: construct once, query many times.
+//
+// The class lives in src/networks/ beside the other routers but is compiled
+// into the scg_oracle library (it depends on the oracle, which depends on
+// scg_networks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/generator.hpp"
+#include "core/permutation.hpp"
+#include "networks/super_cayley.hpp"
+#include "oracle/oracle.hpp"
+
+namespace scg {
+
+class OracleRouter {
+ public:
+  /// Builds the oracle for `net` (borrows the spec; it must outlive the
+  /// router).  Throws for k > kMaxOracleSymbols.
+  explicit OracleRouter(const NetworkSpec& net, ThreadPool* pool = nullptr)
+      : oracle_(DistanceOracle::build(net, pool)) {}
+
+  /// Adopts a previously built (or loaded) oracle.
+  explicit OracleRouter(DistanceOracle oracle) : oracle_(std::move(oracle)) {}
+
+  /// A shortest generator word from `from` to `to` (length ==
+  /// exact_distance; check_route-clean).
+  std::vector<Generator> route(const Permutation& from,
+                               const Permutation& to) const {
+    return oracle_.optimal_route(from, to);
+  }
+  std::vector<Generator> route(std::uint64_t from, std::uint64_t to) const {
+    const int k = oracle_.spec().k();
+    return oracle_.optimal_route(Permutation::unrank(k, from),
+                                 Permutation::unrank(k, to));
+  }
+
+  /// Exact distance between the endpoints (what route() will emit).
+  int distance(const Permutation& from, const Permutation& to) const {
+    return oracle_.exact_distance(from, to);
+  }
+
+  const DistanceOracle& oracle() const { return oracle_; }
+  const NetworkSpec& spec() const { return oracle_.spec(); }
+
+ private:
+  DistanceOracle oracle_;
+};
+
+}  // namespace scg
