@@ -17,6 +17,21 @@ oracle_table="$(mktemp /tmp/scg-oracle.XXXXXX)"
 ./build/examples/scg_cli oracle query MS 2 2 "$oracle_table" 53421 12345
 rm -f "$oracle_table"
 
+echo "== routing benches: correctness report + engine throughput gate =="
+./build/bench/bench_routing
+# bench_engine writes bench/baseline_engine.json relative to its cwd; run
+# it in a scratch dir so the committed baseline is never clobbered, then
+# gate the fresh numbers against it.  Tolerance is loose (0.5) because the
+# committed baseline comes from a different machine — the gate catches
+# broken invariants and order-of-magnitude regressions, not jitter.
+engine_dir="$(mktemp -d /tmp/scg-engine.XXXXXX)"
+mkdir -p "$engine_dir/bench"
+repo_root="$PWD"
+(cd "$engine_dir" && "$repo_root/build/bench/bench_engine")
+python3 scripts/compare_bench.py bench/baseline_engine.json \
+  "$engine_dir/bench/baseline_engine.json" --tolerance 0.5
+rm -rf "$engine_dir"
+
 echo "== sanitizers: asan+ubsan build, fast tests =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated bench JSON against a committed baseline.
+
+Usage:
+    compare_bench.py BASELINE FRESH [--tolerance 0.5]
+
+Both files are objects of named arrays of flat rows (the bench/json_out.hpp
+format, e.g. bench/baseline_engine.json).  Rows are matched by their
+identity fields (name / workload / k / pairs / flows / threads).  Two kinds
+of checks run on every matched row:
+
+  * Invariants must be byte-equal: correctness flags (hops_agree,
+    paths_identical, sim_identical) and deterministic outputs (total_hops,
+    completion_cycles, packets).  These depend only on the seeded
+    workload, never on machine speed.
+  * Rates (fields ending in _rps or _speedup) must not regress:
+    fresh >= tolerance * baseline.  The default tolerance is deliberately
+    loose because CI hardware differs from the machine that wrote the
+    baseline; the gate exists to catch order-of-magnitude regressions and
+    broken correctness flags, not 10% jitter.
+
+Rows present only in the fresh file are ignored (new benches may land
+before their baseline is regenerated); rows present only in the baseline
+fail, since silently dropping a measurement is how regressions hide.
+
+Exits 0 when everything passes, 1 with a per-row report otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+IDENTITY_FIELDS = ("name", "workload", "k", "pairs", "flows", "threads")
+INVARIANT_FIELDS = {
+    "hops_agree",
+    "paths_identical",
+    "sim_identical",
+    "total_hops",
+    "completion_cycles",
+    "packets",
+    # cache_hits is deliberately absent: concurrent chunks can both miss
+    # the same relative permutation, so the hit count varies with the
+    # machine's core count.
+}
+
+
+def row_key(row):
+    return tuple((f, row[f]) for f in IDENTITY_FIELDS if f in row)
+
+
+def fmt_key(section, key):
+    ident = ", ".join(f"{f}={v}" for f, v in key)
+    return f"{section}[{ident}]"
+
+
+def compare(baseline, fresh, tolerance):
+    failures = []
+    for section, base_rows in baseline.items():
+        fresh_rows = {row_key(r): r for r in fresh.get(section, [])}
+        if not isinstance(base_rows, list):
+            continue
+        for base_row in base_rows:
+            key = row_key(base_row)
+            where = fmt_key(section, key)
+            fresh_row = fresh_rows.get(key)
+            if fresh_row is None:
+                failures.append(f"{where}: missing from fresh results")
+                continue
+            for field, base_val in base_row.items():
+                if field not in fresh_row:
+                    failures.append(f"{where}.{field}: field missing")
+                    continue
+                fresh_val = fresh_row[field]
+                if field in INVARIANT_FIELDS:
+                    if fresh_val != base_val:
+                        failures.append(
+                            f"{where}.{field}: {fresh_val} != baseline "
+                            f"{base_val} (must be identical)")
+                elif field.endswith("_rps") or field.endswith("_speedup"):
+                    if fresh_val < tolerance * base_val:
+                        failures.append(
+                            f"{where}.{field}: {fresh_val:.3g} < "
+                            f"{tolerance:g} x baseline {base_val:.3g}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="minimum fresh/baseline ratio for rate fields "
+                             "(default %(default)s)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = compare(baseline, fresh, args.tolerance)
+    if failures:
+        print(f"compare_bench: {len(failures)} regression(s) vs "
+              f"{args.baseline}:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"compare_bench: {args.fresh} is within tolerance "
+          f"{args.tolerance:g} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

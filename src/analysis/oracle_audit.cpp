@@ -5,7 +5,7 @@
 
 #include "analysis/formulas.hpp"
 #include "networks/fault_router.hpp"
-#include "networks/router.hpp"
+#include "networks/route_engine.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace scg {
@@ -37,7 +37,10 @@ Partial combine(Partial a, const Partial& b) {
 OptimalityAudit audit_route_optimality(const NetworkSpec& net,
                                        const DistanceOracle& oracle,
                                        ThreadPool* pool) {
-  const Permutation target = Permutation::identity(net.k());
+  // Routing u -> identity sorts W = identity^{-1}∘u = u itself, so the
+  // sweep feeds ranks straight into the counting kernel.  Every source has a
+  // distinct W, so the route cache can never hit — disable it.
+  const RouteEngine engine(net, RouteEngineConfig{.cache_capacity = 0});
   const Partial total = parallel_reduce<Partial>(
       net.num_nodes(), Partial{},
       [&](std::uint64_t lo, std::uint64_t hi) {
@@ -46,7 +49,7 @@ OptimalityAudit audit_route_optimality(const NetworkSpec& net,
           const int exact = oracle.distance_to_identity(r);
           if (exact <= 0) continue;  // identity (or unreachable) source
           const Permutation u = Permutation::unrank(net.k(), r);
-          const int routed = route_length(net, u, target);
+          const int routed = engine.route_length_rel(u);
           const double stretch =
               static_cast<double>(routed) / static_cast<double>(exact);
           ++p.sources;

@@ -13,8 +13,16 @@
 // BFS over Z_l).  The paper's styles are the special cases A = {1..l-1}
 // (complete), {1, l-1} (bidirectional), {1} (forward); Section 3.3.4's
 // partial-rotation networks use arbitrary generating subsets.
+//
+// Allocation model: SolverContext is templated on a move *sink* and keeps
+// every piece of solver state (box designations, the Z_l shift table, the
+// BFS scratch) in fixed-size stack arrays — l < kMaxSymbols bounds them all.
+// The word-producing sink appends into a caller-owned vector whose capacity
+// survives across calls; the counting sinks materialise nothing.  This is
+// what makes the RouteEngine kernels allocation-free in the steady state.
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -24,63 +32,107 @@
 namespace scg {
 namespace {
 
-std::vector<int> rotations_for_style(BoxMoveStyle style, int l) {
-  std::vector<int> rots;
+/// Rotation amounts of each named style, written into a fixed array.
+/// Returns the count.  kSwap uses no rotations (swaps move boxes instead).
+int rotations_for_style(BoxMoveStyle style, int l, int* rots) {
   switch (style) {
     case BoxMoveStyle::kSwap:
-      break;  // no rotations: swaps are used instead
-    case BoxMoveStyle::kCompleteRotation:
-      for (int i = 1; i < l; ++i) rots.push_back(i);
-      break;
+      return 0;
+    case BoxMoveStyle::kCompleteRotation: {
+      for (int i = 1; i < l; ++i) rots[i - 1] = i;
+      return l - 1;
+    }
     case BoxMoveStyle::kBidirectionalRotation:
-      rots.push_back(1);
-      if (l > 2) rots.push_back(l - 1);
-      break;
+      rots[0] = 1;
+      if (l > 2) {
+        rots[1] = l - 1;
+        return 2;
+      }
+      return 1;
     case BoxMoveStyle::kForwardRotation:
-      rots.push_back(1);
-      break;
+      rots[0] = 1;
+      return 1;
   }
-  return rots;
+  return 0;
 }
 
+/// Appends every emitted move to a caller-owned vector (capacity reused).
+struct WordSink {
+  std::vector<Generator>* out;
+  void push(const Generator& g) { out->push_back(g); }
+};
+
+/// Counts moves without materialising them.
+struct CountSink {
+  std::size_t count = 0;
+  void push(const Generator&) { ++count; }
+};
+
+/// Counts with per-transposition weights (recursive macro-star expansion
+/// lengths); the play is still *selected* by the raw count, exactly like the
+/// word-producing path, so chosen plays match.
+struct WeightedCountSink {
+  std::span<const int> t_weight;
+  std::size_t weighted = 0;
+  void push(const Generator& g) {
+    weighted += g.kind == GenKind::kTransposition
+                    ? static_cast<std::size_t>(
+                          t_weight[static_cast<std::size_t>(g.i)])
+                    : 1;
+  }
+};
+
+template <typename Sink>
 class SolverContext {
  public:
   SolverContext(const Permutation& start, int l, int n, BoxMoveStyle style,
-                int color_offset)
-      : SolverContext(start, l, n, style, rotations_for_style(style, l),
-                      color_offset) {}
+                int color_offset, Sink& sink)
+      : SolverContext(start, l, n, style, nullptr, color_offset, sink) {}
 
   SolverContext(const Permutation& start, int l, int n, BoxMoveStyle style,
-                const std::vector<int>& rotations, int color_offset)
-      : u_(start), l_(l), n_(n), k_(n * l + 1), style_(style) {
+                const std::vector<int>* rotations, int color_offset, Sink& sink)
+      : u_(start), l_(l), n_(n), k_(n * l + 1), style_(style), sink_(sink) {
     if (start.size() != k_) throw std::invalid_argument("solver: size mismatch");
-    boxcolor_.assign(static_cast<std::size_t>(l_) + 1, 0);
     for (int b = 1; b <= l_; ++b) {
       boxcolor_[static_cast<std::size_t>(b)] = (b - 1 + color_offset) % l_ + 1;
     }
-    if (style != BoxMoveStyle::kSwap) build_shift_table(rotations);
+    if (style != BoxMoveStyle::kSwap) {
+      int rots[kMaxSymbols];
+      int nrots;
+      if (rotations != nullptr) {
+        nrots = static_cast<int>(rotations->size());
+        for (int i = 0; i < nrots; ++i) rots[i] = (*rotations)[static_cast<std::size_t>(i)];
+      } else {
+        nrots = rotations_for_style(style, l, rots);
+      }
+      build_shift_table(rots, nrots);
+    }
   }
 
   /// Swap-style context with an explicit (arbitrary bijective) designation;
   /// Phase 2 sorts any designation, so this is only legal with kSwap.
   SolverContext(const Permutation& start, int l, int n,
-                std::vector<int> designation)
+                const std::vector<int>& designation, Sink& sink)
       : u_(start), l_(l), n_(n), k_(n * l + 1), style_(BoxMoveStyle::kSwap),
-        boxcolor_(std::move(designation)) {
+        sink_(sink) {
     if (start.size() != k_) throw std::invalid_argument("solver: size mismatch");
-    if (boxcolor_.size() != static_cast<std::size_t>(l_) + 1) {
+    if (designation.size() != static_cast<std::size_t>(l_) + 1) {
       throw std::invalid_argument("designation must have l+1 entries (1-based)");
+    }
+    for (int b = 1; b <= l_; ++b) {
+      boxcolor_[static_cast<std::size_t>(b)] = designation[static_cast<std::size_t>(b)];
     }
   }
 
-  std::vector<Generator> take_word() { return std::move(word_); }
+  /// Number of moves emitted so far (play length).
+  int emitted() const { return emitted_; }
 
   /// Worst-case cost of bringing any block to the front (for fuses/bounds).
   int max_fetch_cost() const {
     if (style_ == BoxMoveStyle::kSwap) return 1;
     int worst = 0;
     for (int s = 0; s < l_; ++s) {
-      worst = std::max(worst, static_cast<int>(shift_seq_[static_cast<std::size_t>(s)].size()));
+      worst = std::max(worst, static_cast<int>(shift_len_[static_cast<std::size_t>(s)]));
     }
     return worst;
   }
@@ -90,7 +142,7 @@ class SolverContext {
     // Guard against bugs: never exceed a generous multiple of the bound.
     const int fuse = (4 * balls_to_boxes_step_bound(l_, n_) + 4 * k_ + 16) *
                      std::max(1, max_fetch_cost());
-    while (static_cast<int>(word_.size()) <= fuse) {
+    while (emitted_ <= fuse) {
       const int s = u_[0];
       if (s == 1) {                       // Case 1.1: outside ball has color 0
         if (all_boxes_clean_t()) break;
@@ -110,7 +162,7 @@ class SolverContext {
     const int fuse =
         (2 * insertion_game_step_bound(l_, n_, BoxMoveStyle::kSwap) + 4 * k_ + 16) *
         std::max(1, max_fetch_cost());
-    while (static_cast<int>(word_.size()) <= fuse) {
+    while (emitted_ <= fuse) {
       const int s = u_[0];
       if (s == 1) {
         if (all_boxes_clean_i()) break;
@@ -147,7 +199,8 @@ class SolverContext {
 
   void emit(Generator g) {
     g.apply(u_);
-    word_.push_back(g);
+    sink_.push(g);
+    ++emitted_;
   }
 
   int block_of_color(int c) const {
@@ -162,31 +215,45 @@ class SolverContext {
 
   /// BFS over Z_l: shortest word over the allowed rotation amounts realising
   /// each total shift s (contents of block b move to block b+s, cyclically).
-  void build_shift_table(const std::vector<int>& rotations) {
-    if (rotations.empty()) {
+  /// Everything lives in fixed arrays: shifts and word lengths are < l.
+  void build_shift_table(const int* rotations, int nrots) {
+    if (nrots == 0) {
       throw std::invalid_argument("rotation solver needs rotation moves");
     }
-    shift_seq_.assign(static_cast<std::size_t>(l_), {});
-    std::vector<bool> have(static_cast<std::size_t>(l_), false);
+    bool have[kMaxSymbols] = {};
     have[0] = true;
-    std::vector<int> frontier{0};
-    while (!frontier.empty()) {
-      std::vector<int> next;
-      for (const int s : frontier) {
-        for (const int r : rotations) {
+    shift_len_[0] = 0;
+    int frontier[kMaxSymbols];
+    int next[kMaxSymbols];
+    int nf = 0;
+    int nn = 0;
+    frontier[nf++] = 0;
+    while (nf > 0) {
+      nn = 0;
+      for (int fi = 0; fi < nf; ++fi) {
+        const int s = frontier[fi];
+        for (int ri = 0; ri < nrots; ++ri) {
+          const int r = rotations[ri];
           const int t = (s + r) % l_;
-          if (have[static_cast<std::size_t>(t)]) continue;
-          have[static_cast<std::size_t>(t)] = true;
-          shift_seq_[static_cast<std::size_t>(t)] =
-              shift_seq_[static_cast<std::size_t>(s)];
-          shift_seq_[static_cast<std::size_t>(t)].push_back(r);
-          next.push_back(t);
+          if (have[t]) continue;
+          have[t] = true;
+          const int slen = shift_len_[static_cast<std::size_t>(s)];
+          for (int j = 0; j < slen; ++j) {
+            shift_seq_[static_cast<std::size_t>(t)][static_cast<std::size_t>(j)] =
+                shift_seq_[static_cast<std::size_t>(s)][static_cast<std::size_t>(j)];
+          }
+          shift_seq_[static_cast<std::size_t>(t)][static_cast<std::size_t>(slen)] =
+              static_cast<std::uint8_t>(r);
+          shift_len_[static_cast<std::size_t>(t)] =
+              static_cast<std::uint8_t>(slen + 1);
+          next[nn++] = t;
         }
       }
-      frontier.swap(next);
+      for (int j = 0; j < nn; ++j) frontier[j] = next[j];
+      nf = nn;
     }
     for (int s = 1; s < l_; ++s) {
-      if (!have[static_cast<std::size_t>(s)]) {
+      if (!have[s]) {
         throw std::invalid_argument(
             "rotation set does not generate Z_l: boxes cannot be sorted");
       }
@@ -198,22 +265,22 @@ class SolverContext {
     if (j == 1) return 0;
     if (style_ == BoxMoveStyle::kSwap) return 1;
     const int shift = (l_ + 1 - j) % l_;
-    return static_cast<int>(shift_seq_[static_cast<std::size_t>(shift)].size());
+    return static_cast<int>(shift_len_[static_cast<std::size_t>(shift)]);
   }
 
   void rotate_boxcolor(int shift) {
-    std::vector<int> next = boxcolor_;
+    int next[kMaxSymbols + 1];
     for (int b = 1; b <= l_; ++b) {
-      next[static_cast<std::size_t>((b - 1 + shift) % l_ + 1)] =
-          boxcolor_[static_cast<std::size_t>(b)];
+      next[(b - 1 + shift) % l_ + 1] = boxcolor_[static_cast<std::size_t>(b)];
     }
-    boxcolor_ = std::move(next);
+    for (int b = 1; b <= l_; ++b) boxcolor_[static_cast<std::size_t>(b)] = next[b];
   }
 
   void apply_shift(int shift) {
     if (shift == 0) return;
-    for (const int r : shift_seq_[static_cast<std::size_t>(shift)]) {
-      emit(rotation(r, n_));
+    const int slen = shift_len_[static_cast<std::size_t>(shift)];
+    for (int j = 0; j < slen; ++j) {
+      emit(rotation(shift_seq_[static_cast<std::size_t>(shift)][static_cast<std::size_t>(j)], n_));
     }
     rotate_boxcolor(shift);
   }
@@ -361,51 +428,85 @@ class SolverContext {
   const int n_;
   const int k_;
   const BoxMoveStyle style_;
-  std::vector<int> boxcolor_;  // 1-based: designation of the box at block b
-  std::vector<std::vector<int>> shift_seq_;  // shortest rotation word per shift
-  std::vector<Generator> word_;
+  Sink& sink_;
+  int emitted_ = 0;
+  // 1-based: designation of the box at block b.  l < kMaxSymbols.
+  std::array<int, kMaxSymbols + 1> boxcolor_{};
+  // Shortest rotation word per shift s in [0, l): amounts + length.
+  std::array<std::array<std::uint8_t, kMaxSymbols>, kMaxSymbols> shift_seq_{};
+  std::array<std::uint8_t, kMaxSymbols> shift_len_{};
 };
 
+/// Offset search producing the best word: the first candidate goes straight
+/// into `out`; later candidates solve into `scratch` and swap in when
+/// strictly shorter (the same first-wins tie-break the allocating path had).
 template <typename Run>
-std::vector<Generator> best_over_offsets(const Permutation& start, int l, int n,
-                                         BoxMoveStyle style,
-                                         const std::vector<int>* rotations,
-                                         Run run) {
+int best_word_over_offsets(const Permutation& start, int l, int n,
+                           BoxMoveStyle style, const std::vector<int>* rotations,
+                           Run run, std::vector<Generator>& out,
+                           std::vector<Generator>& scratch) {
   // Swaps can realise any designation in Phase 2, so the canonical identity
   // designation is used; rotations preserve the cyclic order, so every
   // cyclic offset is a legal designation and we keep the best.
   const int offsets = (style == BoxMoveStyle::kSwap || l == 1) ? 1 : l;
-  std::vector<Generator> best;
+  out.clear();
   bool have = false;
   for (int b = 0; b < offsets; ++b) {
-    SolverContext ctx =
-        rotations ? SolverContext(start, l, n, style, *rotations, b)
-                  : SolverContext(start, l, n, style, b);
+    std::vector<Generator>& cand = have ? scratch : out;
+    cand.clear();
+    WordSink sink{&cand};
+    SolverContext<WordSink> ctx(start, l, n, style, rotations, b, sink);
     run(ctx);
     if (!ctx.solved()) {
       throw std::logic_error("BAG solver failed to reach the goal state");
     }
-    std::vector<Generator> w = ctx.take_word();
-    if (!have || w.size() < best.size()) {
-      best = std::move(w);
+    if (!have) {
       have = true;
+    } else if (scratch.size() < out.size()) {
+      out.swap(scratch);
     }
+  }
+  return static_cast<int>(out.size());
+}
+
+/// Offset search that only counts: returns the length of the word the
+/// producing path would have chosen (the minimum over offsets).
+template <typename Run>
+int best_count_over_offsets(const Permutation& start, int l, int n,
+                            BoxMoveStyle style,
+                            const std::vector<int>* rotations, Run run) {
+  const int offsets = (style == BoxMoveStyle::kSwap || l == 1) ? 1 : l;
+  int best = std::numeric_limits<int>::max();
+  for (int b = 0; b < offsets; ++b) {
+    CountSink sink;
+    SolverContext<CountSink> ctx(start, l, n, style, rotations, b, sink);
+    run(ctx);
+    if (!ctx.solved()) {
+      throw std::logic_error("BAG solver failed to reach the goal state");
+    }
+    best = std::min(best, static_cast<int>(sink.count));
   }
   return best;
 }
 
 }  // namespace
 
+// ---- word-producing entry points (wrappers over the kernels) ----
+
 std::vector<Generator> solve_transposition_game(const Permutation& start, int l,
                                                 int n, BoxMoveStyle style) {
-  return best_over_offsets(start, l, n, style, nullptr,
-                           [](SolverContext& c) { c.run_transposition(); });
+  std::vector<Generator> out;
+  std::vector<Generator> scratch;
+  solve_transposition_game_into(start, l, n, style, out, scratch);
+  return out;
 }
 
 std::vector<Generator> solve_insertion_game(const Permutation& start, int l,
                                             int n, BoxMoveStyle style) {
-  return best_over_offsets(start, l, n, style, nullptr,
-                           [](SolverContext& c) { c.run_insertion(); });
+  std::vector<Generator> out;
+  std::vector<Generator> scratch;
+  solve_insertion_game_into(start, l, n, style, out, scratch);
+  return out;
 }
 
 std::vector<Generator> solve_one_box_insertion(const Permutation& start) {
@@ -414,18 +515,22 @@ std::vector<Generator> solve_one_box_insertion(const Permutation& start) {
 
 std::vector<Generator> solve_transposition_game_with_offset(
     const Permutation& start, int l, int n, BoxMoveStyle style, int offset) {
-  SolverContext ctx(start, l, n, style, offset);
+  std::vector<Generator> out;
+  WordSink sink{&out};
+  SolverContext<WordSink> ctx(start, l, n, style, offset, sink);
   ctx.run_transposition();
   if (!ctx.solved()) throw std::logic_error("BAG solver failed (fixed offset)");
-  return ctx.take_word();
+  return out;
 }
 
 std::vector<Generator> solve_insertion_game_with_offset(
     const Permutation& start, int l, int n, BoxMoveStyle style, int offset) {
-  SolverContext ctx(start, l, n, style, offset);
+  std::vector<Generator> out;
+  WordSink sink{&out};
+  SolverContext<WordSink> ctx(start, l, n, style, offset, sink);
   ctx.run_insertion();
   if (!ctx.solved()) throw std::logic_error("BAG solver failed (fixed offset)");
-  return ctx.take_word();
+  return out;
 }
 
 std::vector<Generator> solve_transposition_game_greedy_designation(
@@ -469,10 +574,11 @@ std::vector<Generator> solve_transposition_game_greedy_designation(
     box_done[static_cast<std::size_t>(best_b)] = true;
     color_done[static_cast<std::size_t>(best_c)] = true;
   }
-  SolverContext greedy(start, l, n, designation);
+  std::vector<Generator> best;
+  WordSink sink{&best};
+  SolverContext<WordSink> greedy(start, l, n, designation, sink);
   greedy.run_transposition();
   if (!greedy.solved()) throw std::logic_error("greedy designation failed");
-  std::vector<Generator> best = greedy.take_word();
   // Never worse than the canonical identity designation.
   std::vector<Generator> base =
       solve_transposition_game(start, l, n, BoxMoveStyle::kSwap);
@@ -481,16 +587,120 @@ std::vector<Generator> solve_transposition_game_greedy_designation(
 
 std::vector<Generator> solve_transposition_game_custom_rotations(
     const Permutation& start, int l, int n, const std::vector<int>& rotations) {
-  return best_over_offsets(start, l, n, BoxMoveStyle::kCompleteRotation,
-                           &rotations,
-                           [](SolverContext& c) { c.run_transposition(); });
+  std::vector<Generator> out;
+  std::vector<Generator> scratch;
+  solve_transposition_game_custom_rotations_into(start, l, n, rotations, out,
+                                                 scratch);
+  return out;
 }
 
 std::vector<Generator> solve_insertion_game_custom_rotations(
     const Permutation& start, int l, int n, const std::vector<int>& rotations) {
-  return best_over_offsets(start, l, n, BoxMoveStyle::kCompleteRotation,
-                           &rotations,
-                           [](SolverContext& c) { c.run_insertion(); });
+  std::vector<Generator> out;
+  std::vector<Generator> scratch;
+  solve_insertion_game_custom_rotations_into(start, l, n, rotations, out,
+                                             scratch);
+  return out;
+}
+
+// ---- zero-allocation kernels ----
+
+int solve_transposition_game_into(const Permutation& start, int l, int n,
+                                  BoxMoveStyle style,
+                                  std::vector<Generator>& out,
+                                  std::vector<Generator>& scratch) {
+  return best_word_over_offsets(
+      start, l, n, style, nullptr,
+      [](SolverContext<WordSink>& c) { c.run_transposition(); }, out, scratch);
+}
+
+int solve_insertion_game_into(const Permutation& start, int l, int n,
+                              BoxMoveStyle style, std::vector<Generator>& out,
+                              std::vector<Generator>& scratch) {
+  return best_word_over_offsets(
+      start, l, n, style, nullptr,
+      [](SolverContext<WordSink>& c) { c.run_insertion(); }, out, scratch);
+}
+
+int solve_one_box_insertion_into(const Permutation& start,
+                                 std::vector<Generator>& out,
+                                 std::vector<Generator>& scratch) {
+  return solve_insertion_game_into(start, 1, start.size() - 1,
+                                   BoxMoveStyle::kSwap, out, scratch);
+}
+
+int solve_transposition_game_custom_rotations_into(
+    const Permutation& start, int l, int n, const std::vector<int>& rotations,
+    std::vector<Generator>& out, std::vector<Generator>& scratch) {
+  return best_word_over_offsets(
+      start, l, n, BoxMoveStyle::kCompleteRotation, &rotations,
+      [](SolverContext<WordSink>& c) { c.run_transposition(); }, out, scratch);
+}
+
+int solve_insertion_game_custom_rotations_into(
+    const Permutation& start, int l, int n, const std::vector<int>& rotations,
+    std::vector<Generator>& out, std::vector<Generator>& scratch) {
+  return best_word_over_offsets(
+      start, l, n, BoxMoveStyle::kCompleteRotation, &rotations,
+      [](SolverContext<WordSink>& c) { c.run_insertion(); }, out, scratch);
+}
+
+int count_transposition_game(const Permutation& start, int l, int n,
+                             BoxMoveStyle style) {
+  return best_count_over_offsets(
+      start, l, n, style, nullptr,
+      [](SolverContext<CountSink>& c) { c.run_transposition(); });
+}
+
+int count_insertion_game(const Permutation& start, int l, int n,
+                         BoxMoveStyle style) {
+  return best_count_over_offsets(
+      start, l, n, style, nullptr,
+      [](SolverContext<CountSink>& c) { c.run_insertion(); });
+}
+
+int count_one_box_insertion(const Permutation& start) {
+  return count_insertion_game(start, 1, start.size() - 1, BoxMoveStyle::kSwap);
+}
+
+int count_transposition_game_custom_rotations(
+    const Permutation& start, int l, int n, const std::vector<int>& rotations) {
+  return best_count_over_offsets(
+      start, l, n, BoxMoveStyle::kCompleteRotation, &rotations,
+      [](SolverContext<CountSink>& c) { c.run_transposition(); });
+}
+
+int count_insertion_game_custom_rotations(const Permutation& start, int l,
+                                          int n,
+                                          const std::vector<int>& rotations) {
+  return best_count_over_offsets(
+      start, l, n, BoxMoveStyle::kCompleteRotation, &rotations,
+      [](SolverContext<CountSink>& c) { c.run_insertion(); });
+}
+
+int count_transposition_game_weighted(const Permutation& start, int l, int n,
+                                      BoxMoveStyle style,
+                                      std::span<const int> t_weight) {
+  // Selection must mirror the word-producing path exactly: pick the offset
+  // whose *raw* move count is smallest (first wins ties), then report that
+  // play's weighted length.
+  const int offsets = (style == BoxMoveStyle::kSwap || l == 1) ? 1 : l;
+  std::size_t best_raw = std::numeric_limits<std::size_t>::max();
+  std::size_t best_weighted = 0;
+  for (int b = 0; b < offsets; ++b) {
+    WeightedCountSink sink{t_weight, 0};
+    SolverContext<WeightedCountSink> ctx(start, l, n, style, b, sink);
+    ctx.run_transposition();
+    if (!ctx.solved()) {
+      throw std::logic_error("BAG solver failed to reach the goal state");
+    }
+    const std::size_t raw = static_cast<std::size_t>(ctx.emitted());
+    if (raw < best_raw) {
+      best_raw = raw;
+      best_weighted = sink.weighted;
+    }
+  }
+  return static_cast<int>(best_weighted);
 }
 
 }  // namespace scg

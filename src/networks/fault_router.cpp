@@ -4,10 +4,9 @@
 #include <array>
 #include <limits>
 #include <queue>
+#include <span>
 #include <stdexcept>
 #include <unordered_set>
-
-#include "networks/router.hpp"
 
 namespace scg {
 namespace {
@@ -152,7 +151,7 @@ std::vector<Generator> word_from_path(const NetworkSpec& net,
 }
 
 FaultRouter::FaultRouter(const NetworkSpec& net, FaultRouterConfig cfg)
-    : net_(&net), view_(NetworkView::of(net)), cfg_(cfg) {}
+    : net_(&net), view_(NetworkView::of(net)), engine_(net), cfg_(cfg) {}
 
 const std::vector<std::vector<std::uint64_t>>& FaultRouter::backups(
     std::uint64_t s, std::uint64_t t) const {
@@ -190,10 +189,14 @@ RouteOutcome FaultRouter::route(const Permutation& from, const Permutation& to,
   }
 
   // Stage 1+2: walk the game-theoretic route, locally repairing blocked hops.
+  // Primary words come from the engine's per-thread scratch buffer (no
+  // per-solve allocation; re-solves after repairs reuse the same arena, and
+  // repeated pairs hit the relative-permutation cache).
   Permutation cur = from;
   std::uint64_t cur_rank = s;
   std::unordered_set<std::uint64_t> on_path{s};
-  std::vector<Generator> pending = scg::route(*net_, from, to);
+  RouteBuffer& rb = engine_.scratch();
+  std::span<const Generator> pending = engine_.route_into(from, to, rb);
   const std::size_t hop_budget =
       static_cast<std::size_t>(cfg_.hop_budget_factor) *
           (pending.size() + static_cast<std::size_t>(net_->k())) +
@@ -208,7 +211,7 @@ RouteOutcome FaultRouter::route(const Permutation& from, const Permutation& to,
     }
     if (out.word.size() >= hop_budget) break;
     if (pi == pending.size()) {
-      pending = scg::route(*net_, cur, to);
+      pending = engine_.route_into(cur, to, rb);
       pi = 0;
       continue;
     }
@@ -234,7 +237,9 @@ RouteOutcome FaultRouter::route(const Permutation& from, const Permutation& to,
       const std::uint64_t v = buf[gi];
       if (faults.blocks(cur_rank, v) || on_path.count(v)) continue;
       const Generator& g = net_->generators[static_cast<std::size_t>(gi)];
-      const int len = route_length(*net_, g.applied(cur), to);
+      // Counting kernel: no allocation, and no clobbering of `pending`'s
+      // backing buffer.
+      const int len = engine_.route_length(g.applied(cur), to);
       if (len < best_len) {
         best_len = len;
         best_gi = gi;
@@ -247,7 +252,7 @@ RouteOutcome FaultRouter::route(const Permutation& from, const Permutation& to,
     out.word.push_back(g);
     out.path.push_back(cur_rank);
     on_path.insert(cur_rank);
-    pending = scg::route(*net_, cur, to);
+    pending = engine_.route_into(cur, to, rb);
     pi = 0;
   }
 

@@ -26,6 +26,7 @@
 
 #include "core/generator.hpp"
 #include "core/permutation.hpp"
+#include "networks/route_engine.hpp"
 #include "networks/super_cayley.hpp"
 #include "networks/view.hpp"
 #include "topology/fault_set.hpp"
@@ -90,6 +91,10 @@ class FaultRouter {
   const NetworkSpec& spec() const { return *net_; }
   const FaultRouterConfig& config() const { return cfg_; }
 
+  /// The shared zero-allocation engine behind primary routes and repair
+  /// probes (its relative-permutation cache persists across route() calls).
+  const RouteEngine& engine() const { return engine_; }
+
  private:
   RouteOutcome bfs_fallback(std::uint64_t cur, std::uint64_t t,
                             const FaultSet& faults,
@@ -97,6 +102,7 @@ class FaultRouter {
 
   const NetworkSpec* net_;
   NetworkView view_;
+  RouteEngine engine_;
   FaultRouterConfig cfg_;
 
   struct PairHash {

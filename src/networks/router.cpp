@@ -2,140 +2,9 @@
 
 #include <stdexcept>
 
+#include "networks/route_engine.hpp"
+
 namespace scg {
-namespace {
-
-/// Optimal router for the bubble-sort graph: sorting by adjacent exchanges;
-/// the emitted word has exactly inversions(w) moves, which is the graph
-/// distance.
-std::vector<Generator> route_bubble_sort(Permutation w) {
-  std::vector<Generator> word;
-  const int k = w.size();
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (int i = 0; i + 1 < k; ++i) {
-      if (w[i] > w[i + 1]) {
-        const Generator g = exchange(i + 1, i + 2);
-        g.apply(w);
-        word.push_back(g);
-        changed = true;
-      }
-    }
-  }
-  return word;
-}
-
-/// Optimal router for the complete transposition network: cycle-by-cycle
-/// placement; exactly k - #cycles moves, which is the graph distance.
-std::vector<Generator> route_transposition_network(Permutation w) {
-  std::vector<Generator> word;
-  const int k = w.size();
-  for (int p = 1; p <= k; ++p) {
-    while (w[p - 1] != p) {
-      const int s = w[p - 1];
-      const Generator g = exchange(p, s);
-      g.apply(w);
-      word.push_back(g);
-    }
-  }
-  return word;
-}
-
-/// Greedy pancake router (the classic "bring the largest misplaced element
-/// to the front, then flip it home" procedure): at most 2(k-1) flips.
-std::vector<Generator> route_pancake(Permutation w) {
-  std::vector<Generator> word;
-  const int k = w.size();
-  for (int target = k; target >= 2; --target) {
-    // Symbols > target are already home (suffix sorted).
-    if (w[target - 1] == target) continue;
-    const int pos = w.index_of(static_cast<std::uint8_t>(target));  // 0-based
-    if (pos != 0) {
-      const Generator up = reversal(pos + 1);
-      up.apply(w);
-      word.push_back(up);
-    }
-    const Generator down = reversal(target);
-    down.apply(w);
-    word.push_back(down);
-  }
-  return word;
-}
-
-/// Recursive macro-star routing: run the outer Balls-to-Boxes algorithm,
-/// then expand every outer nucleus transposition T_i into a fixed word over
-/// the inner MS(l1,n1) generators.  T_i is an involution, so the word that
-/// sorts T_i(identity) *is* T_i and the expansion is state-independent.
-std::vector<Generator> route_recursive_macro_star(const NetworkSpec& net,
-                                                  const Permutation& w) {
-  const int inner_k = net.n + 1;
-  // Precompute expansion words for T_2..T_{n+1}.
-  std::vector<std::vector<Generator>> expand(static_cast<std::size_t>(net.n + 2));
-  for (int i = 2; i <= net.n + 1; ++i) {
-    const Permutation t = transposition(i).applied(Permutation::identity(inner_k));
-    expand[static_cast<std::size_t>(i)] =
-        solve_transposition_game(t, net.l1, net.n1, BoxMoveStyle::kSwap);
-  }
-  std::vector<Generator> out;
-  for (const Generator& g :
-       solve_transposition_game(w, net.l, net.n, BoxMoveStyle::kSwap)) {
-    if (g.kind == GenKind::kTransposition) {
-      const auto& word = expand[static_cast<std::size_t>(g.i)];
-      out.insert(out.end(), word.begin(), word.end());
-    } else {
-      out.push_back(g);
-    }
-  }
-  return out;
-}
-
-std::vector<Generator> solve_for(const NetworkSpec& net, const Permutation& w) {
-  switch (net.family) {
-    case Family::kMacroStar:
-    case Family::kStar:
-      return solve_transposition_game(w, net.l, net.n, BoxMoveStyle::kSwap);
-    case Family::kRotationStar:
-      return solve_transposition_game(w, net.l, net.n,
-                                      BoxMoveStyle::kBidirectionalRotation);
-    case Family::kCompleteRotationStar:
-      return solve_transposition_game(w, net.l, net.n,
-                                      BoxMoveStyle::kCompleteRotation);
-    case Family::kMacroRotator:
-    case Family::kMacroIS:
-      return solve_insertion_game(w, net.l, net.n, BoxMoveStyle::kSwap);
-    case Family::kRotationRotator:
-      return solve_insertion_game(w, net.l, net.n,
-                                  BoxMoveStyle::kForwardRotation);
-    case Family::kRotationIS:
-      return solve_insertion_game(w, net.l, net.n,
-                                  BoxMoveStyle::kBidirectionalRotation);
-    case Family::kCompleteRotationRotator:
-    case Family::kCompleteRotationIS:
-      return solve_insertion_game(w, net.l, net.n,
-                                  BoxMoveStyle::kCompleteRotation);
-    case Family::kInsertionSelection:
-    case Family::kRotator:
-      return solve_one_box_insertion(w);
-    case Family::kBubbleSort:
-      return route_bubble_sort(w);
-    case Family::kTranspositionNetwork:
-      return route_transposition_network(w);
-    case Family::kPancake:
-      return route_pancake(w);
-    case Family::kPartialRotationStar:
-      return solve_transposition_game_custom_rotations(w, net.l, net.n,
-                                                       net.rotations);
-    case Family::kPartialRotationIS:
-      return solve_insertion_game_custom_rotations(w, net.l, net.n,
-                                                   net.rotations);
-    case Family::kRecursiveMacroStar:
-      return route_recursive_macro_star(net, w);
-  }
-  throw std::logic_error("unknown family");
-}
-
-}  // namespace
 
 std::vector<Generator> route(const NetworkSpec& net, const Permutation& from,
                              const Permutation& to) {
@@ -143,12 +12,21 @@ std::vector<Generator> route(const NetworkSpec& net, const Permutation& from,
     throw std::invalid_argument("route: permutation size != k");
   }
   const Permutation w = from.relabel_symbols(to.inverse());
-  return solve_for(net, w);
+  std::vector<Generator> out;
+  out.reserve(static_cast<std::size_t>(route_word_bound(net)));
+  // The offset-search scratch survives across calls so the scalar path pays
+  // one allocation (the returned word) per route.
+  thread_local std::vector<Generator> scratch;
+  route_word_into(net, w, out, scratch);
+  return out;
 }
 
 int route_length(const NetworkSpec& net, const Permutation& from,
                  const Permutation& to) {
-  return static_cast<int>(route(net, from, to).size());
+  if (from.size() != net.k() || to.size() != net.k()) {
+    throw std::invalid_argument("route_length: permutation size != k");
+  }
+  return route_word_count(net, from.relabel_symbols(to.inverse()));
 }
 
 GameTrace route_trace(const NetworkSpec& net, const Permutation& from,

@@ -25,12 +25,12 @@ void parallel_for_chunks(std::uint64_t n, Body&& body,
   const std::uint64_t chunks =
       std::min<std::uint64_t>(pool->size() * 4, (n + grain - 1) / grain);
   const std::uint64_t step = (n + chunks - 1) / chunks;
-  for (std::uint64_t c = 0; c < chunks; ++c) {
+  const std::uint64_t used = (n + step - 1) / step;
+  pool->submit_batch(used, [step, n, &body](std::size_t c) {
     const std::uint64_t lo = c * step;
     const std::uint64_t hi = std::min(n, lo + step);
-    if (lo >= hi) break;
-    pool->submit([lo, hi, &body] { body(lo, hi); });
-  }
+    body(lo, hi);
+  });
   pool->wait_idle();
 }
 
@@ -56,11 +56,11 @@ void parallel_for_chunks_indexed(std::uint64_t n, Setup&& setup, Body&& body,
   const std::uint64_t step = (n + chunks - 1) / chunks;
   const std::uint64_t used = (n + step - 1) / step;
   setup(used);
-  for (std::uint64_t c = 0; c < used; ++c) {
+  pool->submit_batch(used, [step, n, &body](std::size_t c) {
     const std::uint64_t lo = c * step;
     const std::uint64_t hi = std::min(n, lo + step);
-    pool->submit([lo, hi, c, &body] { body(lo, hi, c); });
-  }
+    body(lo, hi, c);
+  });
   pool->wait_idle();
 }
 
@@ -78,13 +78,13 @@ T parallel_reduce(std::uint64_t n, T init, Body&& body, Combine&& combine,
   const std::uint64_t chunks =
       std::min<std::uint64_t>(pool->size() * 4, (n + grain - 1) / grain);
   const std::uint64_t step = (n + chunks - 1) / chunks;
-  std::vector<T> partials(chunks, init);
-  for (std::uint64_t c = 0; c < chunks; ++c) {
+  const std::uint64_t used = (n + step - 1) / step;
+  std::vector<T> partials(used, init);
+  pool->submit_batch(used, [step, n, &partials, &body](std::size_t c) {
     const std::uint64_t lo = c * step;
     const std::uint64_t hi = std::min(n, lo + step);
-    if (lo >= hi) break;
-    pool->submit([lo, hi, c, &partials, &body] { partials[c] = body(lo, hi); });
-  }
+    partials[c] = body(lo, hi);
+  });
   pool->wait_idle();
   T acc = init;
   for (const T& p : partials) acc = combine(acc, p);

@@ -27,10 +27,29 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard lk(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), nullptr, 0});
     ++in_flight_;
   }
   cv_task_.notify_one();
+}
+
+void ThreadPool::submit_batch(std::size_t count,
+                              std::function<void(std::size_t)> task) {
+  if (count == 0) return;
+  auto shared = std::make_shared<const std::function<void(std::size_t)>>(
+      std::move(task));
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t i = 0; i < count; ++i) {
+      tasks_.push(Task{nullptr, shared, i});
+    }
+    in_flight_ += count;
+  }
+  if (count == 1) {
+    cv_task_.notify_one();
+  } else {
+    cv_task_.notify_all();
+  }
 }
 
 void ThreadPool::wait_idle() {
@@ -40,7 +59,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lk(mu_);
       cv_task_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
@@ -48,7 +67,7 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    task.run();
     {
       std::lock_guard lk(mu_);
       if (--in_flight_ == 0) cv_idle_.notify_all();

@@ -3,22 +3,33 @@
 #include <random>
 #include <stdexcept>
 
-#include "networks/router.hpp"
+#include "networks/route_engine.hpp"
+#include "parallel/parallel_for.hpp"
 #include "topology/bfs.hpp"
 
 namespace scg {
 namespace {
 
-std::vector<std::uint32_t> cayley_path(const NetworkSpec& net,
-                                       const Permutation& from,
-                                       const Permutation& to) {
-  const GameTrace trace = route_trace(net, from, to);
-  std::vector<std::uint32_t> nodes;
-  nodes.reserve(trace.states.size());
-  for (const Permutation& s : trace.states) {
-    nodes.push_back(static_cast<std::uint32_t>(s.rank()));
-  }
-  return nodes;
+/// Batch path generation: solve every (src, dst) pair through the
+/// RouteEngine (SoA batch + relative-permutation cache — all-to-all traffic
+/// has only n-1 distinct relative displacements), then expand the words into
+/// rank paths in parallel.  Packet order matches the pair order.
+std::vector<SimPacket> packets_from_pairs(const NetworkSpec& net,
+                                          const std::vector<std::uint64_t>& src,
+                                          const std::vector<std::uint64_t>& dst) {
+  const RouteEngine engine(net);
+  RouteBatch batch;
+  engine.route_batch(src, dst, batch);
+  std::vector<SimPacket> packets(src.size());
+  parallel_for_chunks(src.size(), [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      SimPacket& p = packets[i];
+      p.src = src[i];
+      p.dst = dst[i];
+      engine.expand_path(src[i], batch.word(i), p.path);
+    }
+  });
+  return packets;
 }
 
 }  // namespace
@@ -70,22 +81,18 @@ std::vector<std::uint32_t> GraphRoutes::path(std::uint64_t src, std::uint64_t ds
 
 std::vector<SimPacket> total_exchange_packets(const NetworkSpec& net) {
   const std::uint64_t n = net.num_nodes();
-  std::vector<Permutation> perms;
-  perms.reserve(n);
-  for (std::uint64_t r = 0; r < n; ++r) perms.push_back(Permutation::unrank(net.k(), r));
-  std::vector<SimPacket> packets;
-  packets.reserve(n * (n - 1));
+  std::vector<std::uint64_t> src;
+  std::vector<std::uint64_t> dst;
+  src.reserve(n * (n - 1));
+  dst.reserve(n * (n - 1));
   for (std::uint64_t s = 0; s < n; ++s) {
     for (std::uint64_t d = 0; d < n; ++d) {
       if (s == d) continue;
-      SimPacket p;
-      p.src = s;
-      p.dst = d;
-      p.path = cayley_path(net, perms[s], perms[d]);
-      packets.push_back(std::move(p));
+      src.push_back(s);
+      dst.push_back(d);
     }
   }
-  return packets;
+  return packets_from_pairs(net, src, dst);
 }
 
 std::vector<SimPacket> total_exchange_packets(const Graph& g) {
@@ -111,21 +118,19 @@ std::vector<SimPacket> random_traffic_packets(const NetworkSpec& net,
   const std::uint64_t n = net.num_nodes();
   std::mt19937_64 rng(seed);
   std::uniform_int_distribution<std::uint64_t> pick(0, n - 1);
-  std::vector<SimPacket> packets;
-  packets.reserve(n * static_cast<std::uint64_t>(per_node));
+  std::vector<std::uint64_t> src;
+  std::vector<std::uint64_t> dst;
+  src.reserve(n * static_cast<std::uint64_t>(per_node));
+  dst.reserve(n * static_cast<std::uint64_t>(per_node));
   for (std::uint64_t s = 0; s < n; ++s) {
-    const Permutation from = Permutation::unrank(net.k(), s);
     for (int i = 0; i < per_node; ++i) {
       std::uint64_t d = pick(rng);
       if (d == s) d = (d + 1) % n;
-      SimPacket p;
-      p.src = s;
-      p.dst = d;
-      p.path = cayley_path(net, from, Permutation::unrank(net.k(), d));
-      packets.push_back(std::move(p));
+      src.push_back(s);
+      dst.push_back(d);
     }
   }
-  return packets;
+  return packets_from_pairs(net, src, dst);
 }
 
 std::vector<SimPacket> random_traffic_packets(const Graph& g, int per_node,

@@ -39,6 +39,35 @@ TEST(ThreadPool, ReusableAcrossWaves) {
   }
 }
 
+TEST(ThreadPool, SubmitBatchRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(997);  // odd size, not a chunk multiple
+  pool.submit_batch(hits.size(), [&](std::size_t i) {
+    ++hits[i];
+  });
+  pool.wait_idle();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitBatchZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.submit_batch(0, [&](std::size_t) { called = true; });
+  pool.wait_idle();
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SubmitBatchInterleavesWithPlainSubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 4; ++wave) {
+    pool.submit([&count] { ++count; });
+    pool.submit_batch(50, [&count](std::size_t) { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 4 * 51);
+}
+
 TEST(ThreadPool, SizeDefaultsToHardware) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);

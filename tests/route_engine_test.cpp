@@ -1,0 +1,319 @@
+// RouteEngine: batch words byte-identical to scalar route(), cache
+// soundness under vertex-transitivity, counting kernels, arena stability,
+// and the word-bound contract.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "analysis/oracle_audit.hpp"
+#include "networks/route_engine.hpp"
+#include "networks/router.hpp"
+#include "oracle/oracle.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace scg {
+namespace {
+
+/// The eleven routed families (directed and undirected) at bench sizes.
+std::vector<NetworkSpec> all_families() {
+  std::vector<NetworkSpec> nets;
+  nets.push_back(make_star_graph(7));
+  nets.push_back(make_macro_star(2, 3));
+  nets.push_back(make_macro_star(3, 2));
+  nets.push_back(make_complete_rotation_star(3, 2));
+  nets.push_back(make_macro_rotator(3, 2));
+  nets.push_back(make_macro_is(3, 2));
+  nets.push_back(make_rotation_is(3, 2));
+  nets.push_back(make_insertion_selection(7));
+  nets.push_back(make_rotator_graph(7));
+  nets.push_back(make_bubble_sort_graph(7));
+  nets.push_back(make_transposition_network(7));
+  return nets;
+}
+
+struct PairList {
+  std::vector<std::uint64_t> src;
+  std::vector<std::uint64_t> dst;
+};
+
+PairList random_pairs(const NetworkSpec& net, std::size_t count,
+                      std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+  PairList p;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t s = pick(rng);
+    std::uint64_t d = pick(rng);
+    if (d == s) d = (d + 1) % net.num_nodes();
+    p.src.push_back(s);
+    p.dst.push_back(d);
+  }
+  return p;
+}
+
+TEST(RouteEngine, BatchWordsByteIdenticalToScalarOnAllFamilies) {
+  // 600 pairs spans several 256-pair chunks, so chunk addressing is
+  // exercised along with the solver kernels.
+  for (const NetworkSpec& net : all_families()) {
+    const PairList pairs = random_pairs(net, 600, 7);
+    const RouteEngine engine(net);
+    RouteBatch batch;
+    engine.route_batch(pairs.src, pairs.dst, batch);
+    ASSERT_EQ(batch.size(), pairs.src.size());
+    std::uint64_t hops = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::vector<Generator> scalar =
+          route(net, Permutation::unrank(net.k(), pairs.src[i]),
+                Permutation::unrank(net.k(), pairs.dst[i]));
+      const std::span<const Generator> word = batch.word(i);
+      ASSERT_EQ(word.size(), scalar.size()) << net.name << " pair " << i;
+      for (std::size_t j = 0; j < word.size(); ++j) {
+        ASSERT_EQ(word[j], scalar[j]) << net.name << " pair " << i;
+      }
+      ASSERT_EQ(batch.length(i), static_cast<int>(scalar.size()));
+      hops += scalar.size();
+    }
+    EXPECT_EQ(batch.total_length(), hops) << net.name;
+  }
+}
+
+TEST(RouteEngine, BatchMatchesScalarOnRecursiveMacroStar) {
+  const NetworkSpec net = make_recursive_macro_star(2, 2, 2);
+  const PairList pairs = random_pairs(net, 300, 11);
+  const RouteEngine engine(net);
+  RouteBatch batch;
+  engine.route_batch(pairs.src, pairs.dst, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Permutation u = Permutation::unrank(net.k(), pairs.src[i]);
+    const Permutation v = Permutation::unrank(net.k(), pairs.dst[i]);
+    const std::vector<Generator> scalar = route(net, u, v);
+    const std::span<const Generator> word = batch.word(i);
+    ASSERT_EQ(std::vector<Generator>(word.begin(), word.end()), scalar);
+    EXPECT_EQ(check_route(net, u, v, scalar), "");
+  }
+}
+
+TEST(RouteEngine, CacheHitReturnsIdenticalCheckCleanWord) {
+  for (const NetworkSpec& net :
+       {make_macro_star(3, 2), make_rotation_is(3, 2)}) {
+    const RouteEngine engine(net);
+    RouteBuffer buf;
+    const PairList pairs = random_pairs(net, 64, 3);
+    std::vector<std::vector<Generator>> first;
+    for (std::size_t i = 0; i < pairs.src.size(); ++i) {
+      const auto w = engine.route_into(
+          Permutation::unrank(net.k(), pairs.src[i]),
+          Permutation::unrank(net.k(), pairs.dst[i]), buf);
+      first.emplace_back(w.begin(), w.end());
+    }
+    for (std::size_t i = 0; i < pairs.src.size(); ++i) {
+      const Permutation u = Permutation::unrank(net.k(), pairs.src[i]);
+      const Permutation v = Permutation::unrank(net.k(), pairs.dst[i]);
+      const auto w = engine.route_into(u, v, buf);
+      EXPECT_EQ(std::vector<Generator>(w.begin(), w.end()), first[i]);
+      EXPECT_EQ(check_route(net, u, v, first[i]), "");
+    }
+    const RouteCacheStats stats = engine.cache_stats();
+    EXPECT_GE(stats.hits, pairs.src.size());  // pass 2 is all hits
+    EXPECT_GT(stats.entries, 0u);
+  }
+}
+
+TEST(RouteEngine, CacheSharedAcrossPairsWithSameRelativePermutation) {
+  // Left translation preserves W = V^{-1}∘U: (σ∘U, σ∘V) has the same
+  // relative displacement, so the second pair must hit the first's entry.
+  const NetworkSpec net = make_macro_star(3, 2);
+  const RouteEngine engine(net);
+  RouteBuffer buf;
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
+  for (int trial = 0; trial < 16; ++trial) {
+    const Permutation u = Permutation::unrank(net.k(), pick(rng));
+    const Permutation v = Permutation::unrank(net.k(), pick(rng));
+    const Permutation sigma = Permutation::unrank(net.k(), pick(rng));
+    const Permutation u2 = u.relabel_symbols(sigma);
+    const Permutation v2 = v.relabel_symbols(sigma);
+    ASSERT_EQ(u2.relabel_symbols(v2.inverse()),
+              u.relabel_symbols(v.inverse()));
+
+    const std::uint64_t hits_before = engine.cache_stats().hits;
+    const auto w1 = engine.route_into(u, v, buf);
+    const std::vector<Generator> word1(w1.begin(), w1.end());
+    const auto w2 = engine.route_into(u2, v2, buf);
+    EXPECT_EQ(std::vector<Generator>(w2.begin(), w2.end()), word1);
+    EXPECT_GT(engine.cache_stats().hits, hits_before);
+    // The shared word is a valid route for *both* pairs.
+    EXPECT_EQ(check_route(net, u2, v2, word1), "");
+  }
+}
+
+TEST(RouteEngine, RouteLengthMatchesScalarWordSizeOnAllFamilies) {
+  std::vector<NetworkSpec> nets = all_families();
+  nets.push_back(make_recursive_macro_star(2, 2, 2));
+  for (const NetworkSpec& net : nets) {
+    const RouteEngine engine(net, RouteEngineConfig{.cache_capacity = 0});
+    const PairList pairs = random_pairs(net, 128, 13);
+    for (std::size_t i = 0; i < pairs.src.size(); ++i) {
+      const Permutation u = Permutation::unrank(net.k(), pairs.src[i]);
+      const Permutation v = Permutation::unrank(net.k(), pairs.dst[i]);
+      EXPECT_EQ(engine.route_length(u, v),
+                static_cast<int>(route(net, u, v).size()))
+          << net.name;
+      EXPECT_EQ(route_length(net, u, v),
+                static_cast<int>(route(net, u, v).size()))
+          << net.name;
+    }
+  }
+}
+
+TEST(RouteEngine, ScalarWordNeverExceedsWordBound) {
+  std::vector<NetworkSpec> nets = all_families();
+  nets.push_back(make_recursive_macro_star(2, 2, 2));
+  nets.push_back(make_complete_rotation_star(4, 2));
+  for (const NetworkSpec& net : nets) {
+    const int bound = route_word_bound(net);
+    const PairList pairs = random_pairs(net, 256, 17);
+    for (std::size_t i = 0; i < pairs.src.size(); ++i) {
+      const std::vector<Generator> word =
+          route(net, Permutation::unrank(net.k(), pairs.src[i]),
+                Permutation::unrank(net.k(), pairs.dst[i]));
+      ASSERT_LE(static_cast<int>(word.size()), bound) << net.name;
+    }
+  }
+}
+
+TEST(RouteEngine, BufferReachesSteadyStateWithoutReallocation) {
+  const NetworkSpec net = make_macro_star(3, 2);
+  const RouteEngine engine(net, RouteEngineConfig{.cache_capacity = 0});
+  RouteBuffer buf;
+  const PairList pairs = random_pairs(net, 256, 19);
+  engine.route_into(Permutation::unrank(net.k(), pairs.src[0]),
+                    Permutation::unrank(net.k(), pairs.dst[0]), buf);
+  const std::size_t word_cap = buf.word.capacity();
+  const std::size_t scratch_cap = buf.scratch.capacity();
+  EXPECT_GE(word_cap, static_cast<std::size_t>(engine.word_bound()));
+  const Generator* word_data = buf.word.data();
+  for (std::size_t i = 1; i < pairs.src.size(); ++i) {
+    engine.route_into(Permutation::unrank(net.k(), pairs.src[i]),
+                      Permutation::unrank(net.k(), pairs.dst[i]), buf);
+  }
+  EXPECT_EQ(buf.word.capacity(), word_cap);
+  EXPECT_EQ(buf.scratch.capacity(), scratch_cap);
+  EXPECT_EQ(buf.word.data(), word_data);  // storage never moved
+}
+
+TEST(RouteEngine, BatchArenasStableAcrossReuse) {
+  const NetworkSpec net = make_macro_star(2, 3);
+  const RouteEngine engine(net, RouteEngineConfig{.cache_capacity = 0});
+  const PairList a = random_pairs(net, 500, 23);
+  const PairList b = random_pairs(net, 500, 29);
+  RouteBatch batch;
+  engine.route_batch(a.src, a.dst, batch);
+  engine.route_batch(b.src, b.dst, batch);  // reuse grows arenas to steady state
+  engine.route_batch(a.src, a.dst, batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<Generator> scalar =
+        route(net, Permutation::unrank(net.k(), a.src[i]),
+              Permutation::unrank(net.k(), a.dst[i]));
+    const std::span<const Generator> word = batch.word(i);
+    ASSERT_EQ(std::vector<Generator>(word.begin(), word.end()), scalar);
+  }
+}
+
+TEST(RouteEngine, BatchRejectsMismatchedAndOutOfRangeInput) {
+  const NetworkSpec net = make_star_graph(5);
+  const RouteEngine engine(net);
+  RouteBatch batch;
+  const std::vector<std::uint64_t> src{0, 1};
+  const std::vector<std::uint64_t> short_dst{2};
+  EXPECT_THROW(engine.route_batch(src, short_dst, batch),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> bad_dst{2, net.num_nodes()};
+  EXPECT_THROW(engine.route_batch(src, bad_dst, batch), std::out_of_range);
+}
+
+TEST(RouteEngine, ExpandPathMatchesRouteTrace) {
+  for (const NetworkSpec& net :
+       {make_macro_star(3, 2), make_rotator_graph(6)}) {
+    const RouteEngine engine(net);
+    const PairList pairs = random_pairs(net, 64, 31);
+    RouteBatch batch;
+    engine.route_batch(pairs.src, pairs.dst, batch);
+    std::vector<std::uint32_t> path;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      engine.expand_path(pairs.src[i], batch.word(i), path);
+      const GameTrace trace =
+          route_trace(net, Permutation::unrank(net.k(), pairs.src[i]),
+                      Permutation::unrank(net.k(), pairs.dst[i]));
+      ASSERT_EQ(path.size(), trace.states.size());
+      for (std::size_t j = 0; j < path.size(); ++j) {
+        ASSERT_EQ(path[j], trace.states[j].rank());
+      }
+    }
+  }
+}
+
+TEST(RouteEngine, TinyCacheEvictsAndCountsStayConsistent) {
+  const NetworkSpec net = make_macro_star(3, 2);
+  RouteEngine engine(
+      net, RouteEngineConfig{.cache_capacity = 8, .cache_shards = 1});
+  RouteBuffer buf;
+  const PairList pairs = random_pairs(net, 256, 37);
+  for (std::size_t i = 0; i < pairs.src.size(); ++i) {
+    engine.route_into(Permutation::unrank(net.k(), pairs.src[i]),
+                      Permutation::unrank(net.k(), pairs.dst[i]), buf);
+  }
+  const RouteCacheStats stats = engine.cache_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 8u);
+  EXPECT_EQ(stats.hits + stats.misses, pairs.src.size());
+  engine.clear_cache();
+  EXPECT_EQ(engine.cache_stats().entries, 0u);
+}
+
+TEST(RouteEngine, BatchIdenticalWithExplicitThreadPool) {
+  const NetworkSpec net = make_macro_star(3, 2);
+  const RouteEngine engine(net, RouteEngineConfig{.cache_capacity = 0});
+  const PairList pairs = random_pairs(net, 700, 41);
+  RouteBatch serial, pooled;
+  ThreadPool one(1), four(4);
+  engine.route_batch(pairs.src, pairs.dst, serial, &one);
+  engine.route_batch(pairs.src, pairs.dst, pooled, &four);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const std::span<const Generator> a = serial.word(i);
+    const std::span<const Generator> b = pooled.word(i);
+    ASSERT_EQ(std::vector<Generator>(a.begin(), a.end()),
+              std::vector<Generator>(b.begin(), b.end()));
+  }
+}
+
+TEST(RouteEngine, AuditStretchMatchesDirectRecomputation) {
+  // The audit now routes through the engine's counting kernel; its numbers
+  // must equal a brute recomputation with the scalar router (i.e. the
+  // pre-engine audit results are unchanged).
+  const NetworkSpec net = make_macro_star(2, 2);
+  const DistanceOracle oracle = DistanceOracle::build(net);
+  const OptimalityAudit audit = audit_route_optimality(net, oracle);
+  const Permutation id = Permutation::identity(net.k());
+  std::uint64_t sources = 0, optimal = 0;
+  double stretch_sum = 0.0;
+  for (std::uint64_t r = 0; r < net.num_nodes(); ++r) {
+    const int exact = oracle.distance_to_identity(r);
+    if (exact <= 0) continue;
+    const int routed = static_cast<int>(
+        route(net, Permutation::unrank(net.k(), r), id).size());
+    ++sources;
+    if (routed == exact) ++optimal;
+    stretch_sum += static_cast<double>(routed) / exact;
+  }
+  EXPECT_EQ(audit.sources, sources);
+  EXPECT_EQ(audit.optimal, optimal);
+  EXPECT_DOUBLE_EQ(audit.avg_stretch,
+                   stretch_sum / static_cast<double>(sources));
+}
+
+}  // namespace
+}  // namespace scg
