@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "networks/fault_router.hpp"
+#include "networks/route_policy.hpp"
 #include "networks/router.hpp"
 #include "sim/mcmp.hpp"
 #include "topology/baselines.hpp"
@@ -178,19 +179,21 @@ void mcmp_degradation_section(Json& json) {
     return !scg::is_nucleus(net.generators[static_cast<std::size_t>(tag)].kind);
   };
 
-  // Uniform random traffic on pristine game-theoretic routes.
+  // Uniform random traffic on pristine routes from the registry's
+  // fault-aware policy (an empty FaultSet plays exactly the primary
+  // game-theoretic routes, so these paths match what the direct
+  // FaultRouter call always produced).
+  const auto policy = scg::make_route_policy("fault", net);
   std::mt19937_64 rng(47);
   std::uniform_int_distribution<std::uint64_t> pick(0, net.num_nodes() - 1);
-  const FaultSet none;
   std::vector<scg::SimPacket> pkts;
   while (pkts.size() < 2000) {
     const std::uint64_t s = pick(rng), t = pick(rng);
     if (s == t) continue;
-    const RouteOutcome out = router.route(s, t, none);
     scg::SimPacket pk;
     pk.src = s;
     pk.dst = t;
-    pk.path.assign(out.path.begin(), out.path.end());
+    policy->route_path(s, t, pk.path);
     pk.inject_time = pkts.size() % 64;
     pkts.push_back(std::move(pk));
   }
@@ -226,7 +229,9 @@ void mcmp_degradation_section(Json& json) {
              kv("p50_latency", r.p50_latency) + ", " +
              kv("p99_latency", r.p99_latency) + ", " +
              kv("avg_stretch", r.avg_stretch) + ", " +
-             kv("completion_cycles", r.completion_cycles));
+             kv("completion_cycles", r.completion_cycles) + ", " +
+             kv("events", r.telemetry.events_processed) + ", " +
+             kv("queue_peak", r.telemetry.queue_peak));
   }
   json.end_array();
 }

@@ -1,12 +1,34 @@
 // Runs a total-exchange on an MCMP-packaged super Cayley graph and on a
 // hypercube of comparable size, printing per-network completion times —
 // a miniature of the paper's Section 4.3 argument.
+//
+// The traffic flows through the unified event core: endpoint pairs only,
+// routed lazily at injection time by a RoutePolicy picked from the registry
+// ("game" on the Cayley spec, BFS on the hypercube), with the engine's
+// telemetry printed per run.
 #include <cstdio>
 
-#include "sim/mcmp.hpp"
+#include "networks/route_policy.hpp"
+#include "sim/event_core.hpp"
 #include "sim/workloads.hpp"
 #include "topology/baselines.hpp"
 #include "topology/metrics.hpp"
+
+namespace {
+
+void report(const scg::EventSimResult& r) {
+  std::printf("  completion=%llu cycles, avg latency=%.1f, offchip hops=%llu\n",
+              static_cast<unsigned long long>(r.completion_cycles),
+              r.avg_latency, static_cast<unsigned long long>(r.offchip_hops));
+  std::printf("  telemetry: %llu events, queue peak %llu, %llu route chunks, "
+              "cache hit rate %.1f%%\n\n",
+              static_cast<unsigned long long>(r.telemetry.events_processed),
+              static_cast<unsigned long long>(r.telemetry.queue_peak),
+              static_cast<unsigned long long>(r.telemetry.route_chunks),
+              100.0 * r.telemetry.cache_hit_rate());
+}
+
+}  // namespace
 
 int main() {
   std::printf("=== Total exchange on MCMPs (w = 1 pin budget per node) ===\n\n");
@@ -14,35 +36,32 @@ int main() {
   {
     const scg::NetworkSpec net = scg::make_complete_rotation_star(2, 2);
     const scg::Graph g = scg::materialize(net);
-    scg::SimConfig cfg;
-    cfg.offchip_cycles = net.intercluster_degree();  // w split over d_I links
-    const scg::SimResult r = scg::simulate_mcmp(
-        g,
-        [&](std::int32_t tag) {
-          return !scg::is_nucleus(
-              net.generators[static_cast<std::size_t>(tag)].kind);
-        },
-        scg::total_exchange_packets(net), cfg);
-    std::printf("%s: N=120, intercluster degree=%d\n", net.name.c_str(),
-                net.intercluster_degree());
-    std::printf("  completion=%llu cycles, avg latency=%.1f, offchip hops=%llu\n\n",
-                static_cast<unsigned long long>(r.completion_cycles),
-                r.avg_latency, static_cast<unsigned long long>(r.offchip_hops));
+    const auto policy = scg::make_route_policy("game", net);
+    scg::EventSimConfig cfg;
+    cfg.offchip_cycles_per_flit = net.intercluster_degree();  // w over d_I links
+    const scg::EventSimResult r = scg::simulate_events(
+        g, scg::mcmp_offchip_table(net, g),
+        scg::total_exchange_pairs(net.num_nodes()), *policy, cfg);
+    std::printf("%s: N=120, intercluster degree=%d, policy=%s\n",
+                net.name.c_str(), net.intercluster_degree(),
+                policy->name().c_str());
+    report(r);
   }
 
   {
     const scg::Graph g = scg::make_hypercube(7);
-    scg::SimConfig cfg;
-    cfg.offchip_cycles = 7;  // one node per chip: w split over log2 N links
-    const scg::SimResult r = scg::simulate_mcmp(
-        g, [](std::int32_t) { return true; }, scg::total_exchange_packets(g), cfg);
-    std::printf("hypercube(7): N=128, every link off-chip (degree 7)\n");
-    std::printf("  completion=%llu cycles, avg latency=%.1f, offchip hops=%llu\n",
-                static_cast<unsigned long long>(r.completion_cycles),
-                r.avg_latency, static_cast<unsigned long long>(r.offchip_hops));
+    scg::BfsPolicy policy(g);
+    scg::EventSimConfig cfg;
+    cfg.offchip_cycles_per_flit = 7;  // one node per chip: w over log2 N links
+    const scg::EventSimResult r = scg::simulate_events(
+        g, scg::OffchipTable::uniform(g, true),
+        scg::total_exchange_pairs(g.num_nodes()), policy, cfg);
+    std::printf("hypercube(7): N=128, every link off-chip (degree 7), "
+                "policy=%s\n", policy.name().c_str());
+    report(r);
   }
 
-  std::printf("\nThe super Cayley MCMP finishes faster because its pin budget\n"
+  std::printf("The super Cayley MCMP finishes faster because its pin budget\n"
               "is split over far fewer off-chip links (paper Section 4.3).\n");
   return 0;
 }

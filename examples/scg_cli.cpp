@@ -10,10 +10,16 @@
 //   scg_cli oracle query <family> <l> <n> <table> <from> <to>
 //                                                 exact distance + optimal word
 //   scg_cli oracle stats <family> <l> <n> [table] exact diameter/average/histogram
+//   scg_cli sim <family> <l> <n> [policy] [per_node] [seed]
+//                                                 random traffic through the
+//                                                 event core, routed lazily
+//                                                 by the named policy
+//   scg_cli policies                              list registered route policies
 //
 // <family> ∈ {MS, RS, cRS, MR, RR, cRR, IS, MIS, RIS, cRIS, star, rotator,
 //             pancake, bubble, transposition}; permutations are digit
 //             strings like 5342671 (k <= 9).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,8 +29,12 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/formulas.hpp"
+#include "networks/oracle_policy.hpp"
+#include "networks/route_policy.hpp"
 #include "networks/router.hpp"
 #include "oracle/oracle.hpp"
+#include "sim/event_core.hpp"
+#include "sim/workloads.hpp"
 #include "topology/io.hpp"
 #include "topology/metrics.hpp"
 
@@ -183,19 +193,54 @@ int cmd_oracle(int argc, char** argv) {
   return 2;
 }
 
+int cmd_sim(const scg::NetworkSpec& net, const std::string& policy_name,
+            int per_node, std::uint64_t seed) {
+  const scg::Graph g = scg::materialize(net);
+  const auto policy = scg::make_route_policy(policy_name, net);
+  const auto pairs = scg::random_traffic_pairs(net.num_nodes(), per_node, seed);
+  scg::EventSimConfig cfg;
+  cfg.offchip_cycles_per_flit = std::max(1, net.intercluster_degree());
+  const scg::EventSimResult r = scg::simulate_events(
+      g, scg::mcmp_offchip_table(net, g), pairs, *policy, cfg);
+  std::printf("%s: N=%llu, %d packets/node via '%s' (lazy, chunk %zu)\n",
+              net.name.c_str(),
+              static_cast<unsigned long long>(net.num_nodes()), per_node,
+              policy->name().c_str(), cfg.route_chunk);
+  std::printf("completion=%llu cycles  avg-latency=%.1f  total-hops=%llu  "
+              "offchip-hops=%llu  max-link-busy=%.0f\n",
+              static_cast<unsigned long long>(r.completion_cycles),
+              r.avg_latency, static_cast<unsigned long long>(r.total_hops),
+              static_cast<unsigned long long>(r.offchip_hops), r.max_link_busy);
+  std::printf("telemetry: events=%llu queue-peak=%llu route-chunks=%llu "
+              "cache-hit=%.1f%%\n",
+              static_cast<unsigned long long>(r.telemetry.events_processed),
+              static_cast<unsigned long long>(r.telemetry.queue_peak),
+              static_cast<unsigned long long>(r.telemetry.route_chunks),
+              100.0 * r.telemetry.cache_hit_rate());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: scg_cli info|route|trace|dot|histogram|families ...\n");
+                 "usage: scg_cli info|route|trace|dot|histogram|sim|families|"
+                 "policies ...\n");
     return 2;
   }
+  scg::register_oracle_policy();  // make "oracle" selectable by name
   const std::string cmd = argv[1];
   if (cmd == "oracle") return cmd_oracle(argc, argv);
   if (cmd == "families") {
     std::printf("MS RS cRS MR RR cRR IS MIS RIS cRIS star rotator pancake "
                 "bubble transposition\n");
+    return 0;
+  }
+  if (cmd == "policies") {
+    for (const std::string& name : scg::route_policy_names()) {
+      std::printf("%s\n", name.c_str());
+    }
     return 0;
   }
   if (argc < 5) {
@@ -230,6 +275,13 @@ int main(int argc, char** argv) {
   if (cmd == "histogram") {
     scg::write_histogram_tsv(std::cout, scg::network_distance_stats(net));
     return 0;
+  }
+  if (cmd == "sim") {
+    const std::string policy = argc > 5 ? argv[5] : "game";
+    const int per_node = argc > 6 ? std::atoi(argv[6]) : 8;
+    const std::uint64_t seed =
+        argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 7;
+    return cmd_sim(net, policy, per_node, seed);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;

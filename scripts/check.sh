@@ -32,6 +32,18 @@ python3 scripts/compare_bench.py bench/baseline_engine.json \
   "$engine_dir/bench/baseline_engine.json" --tolerance 0.5
 rm -rf "$engine_dir"
 
+echo "== simulation bench: event-core invariants + lazy-routing gate =="
+# Same scratch-dir pattern: bench_mcmp re-simulates every workload and the
+# lazy-vs-prerouted acceptance run; completion cycles / hop counts /
+# sim_identical must match the committed baseline exactly, lazy_speedup and
+# sim_rps only loosely (machine speed).
+sim_dir="$(mktemp -d /tmp/scg-sim.XXXXXX)"
+mkdir -p "$sim_dir/bench"
+(cd "$sim_dir" && "$repo_root/build/bench/bench_mcmp")
+python3 scripts/compare_bench.py bench/baseline_sim.json \
+  "$sim_dir/bench/baseline_sim.json" --tolerance 0.5
+rm -rf "$sim_dir"
+
 echo "== sanitizers: asan+ubsan build, fast tests =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"

@@ -30,7 +30,8 @@ import argparse
 import json
 import sys
 
-IDENTITY_FIELDS = ("name", "workload", "k", "pairs", "flows", "threads")
+IDENTITY_FIELDS = ("name", "workload", "policy", "k", "pairs", "flows",
+                   "threads", "link_kills", "links_failed")
 INVARIANT_FIELDS = {
     "hops_agree",
     "paths_identical",

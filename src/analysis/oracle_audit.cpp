@@ -77,6 +77,45 @@ OptimalityAudit audit_route_optimality(const NetworkSpec& net,
   return a;
 }
 
+OptimalityAudit audit_policy_optimality(const NetworkSpec& net,
+                                        const DistanceOracle& oracle,
+                                        RoutePolicy& policy, ThreadPool* pool) {
+  const std::uint64_t id_rank = Permutation::identity(net.k()).rank();
+  const Partial total = parallel_reduce<Partial>(
+      net.num_nodes(), Partial{},
+      [&](std::uint64_t lo, std::uint64_t hi) {
+        Partial p;
+        for (std::uint64_t r = lo; r < hi; ++r) {
+          const int exact = oracle.distance_to_identity(r);
+          if (exact <= 0) continue;  // identity (or unreachable) source
+          const int routed = policy.route_hops(r, id_rank);
+          const double stretch =
+              static_cast<double>(routed) / static_cast<double>(exact);
+          ++p.sources;
+          if (routed == exact) ++p.optimal;
+          p.stretch_sum += stretch;
+          p.max_stretch = std::max(p.max_stretch, stretch);
+          if (routed - exact > p.max_gap) {
+            p.max_gap = routed - exact;
+            p.worst_rank = r;
+          }
+        }
+        return p;
+      },
+      combine, /*grain=*/1 << 10, pool);
+
+  OptimalityAudit a;
+  a.sources = total.sources;
+  a.optimal = total.optimal;
+  a.max_stretch = total.max_stretch;
+  a.max_gap = total.max_gap;
+  a.worst_rank = total.worst_rank;
+  a.avg_stretch =
+      total.sources ? total.stretch_sum / static_cast<double>(total.sources)
+                    : 0.0;
+  return a;
+}
+
 BackupAudit audit_backup_optimality(const NetworkSpec& net,
                                     const DistanceOracle& oracle,
                                     std::uint64_t pairs, std::uint64_t seed) {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "networks/route_policy.hpp"
 #include "networks/super_cayley.hpp"
 #include "oracle/oracle.hpp"
 #include "parallel/thread_pool.hpp"
@@ -34,6 +35,17 @@ struct OptimalityAudit {
 OptimalityAudit audit_route_optimality(const NetworkSpec& net,
                                        const DistanceOracle& oracle,
                                        ThreadPool* pool = nullptr);
+
+/// The same all-source sweep for ANY RoutePolicy: every source routed to
+/// the identity through policy.route_hops, compared with the oracle-exact
+/// distance.  Parallel over sources, so the policy's route_hops must be
+/// safe to call concurrently (Game/Fault/Oracle policies are; BfsPolicy is
+/// not — audit it with a single-thread pool).  audit_route_optimality is
+/// the specialised fast path of this for the game engine.
+OptimalityAudit audit_policy_optimality(const NetworkSpec& net,
+                                        const DistanceOracle& oracle,
+                                        RoutePolicy& policy,
+                                        ThreadPool* pool = nullptr);
 
 /// Exact audit of the FaultRouter's precomputed node-disjoint backup paths:
 /// for `pairs` random (s, t) pairs, every backup path length is compared

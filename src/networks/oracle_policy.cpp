@@ -1,0 +1,38 @@
+#include "networks/oracle_policy.hpp"
+
+namespace scg {
+
+OraclePolicy::OraclePolicy(const NetworkSpec& net, ThreadPool* pool)
+    : router_(net, pool) {}
+
+OraclePolicy::OraclePolicy(DistanceOracle oracle)
+    : router_(std::move(oracle)) {}
+
+void OraclePolicy::route_path(std::uint64_t src, std::uint64_t dst,
+                              std::vector<std::uint32_t>& out) {
+  const int k = router_.spec().k();
+  Permutation u = Permutation::unrank(k, src);
+  const std::vector<Generator> word =
+      router_.route(u, Permutation::unrank(k, dst));
+  out.clear();
+  out.reserve(word.size() + 1);
+  out.push_back(static_cast<std::uint32_t>(src));
+  for (const Generator& g : word) {
+    g.apply(u);
+    out.push_back(static_cast<std::uint32_t>(u.rank()));
+  }
+}
+
+int OraclePolicy::route_hops(std::uint64_t src, std::uint64_t dst) {
+  const int k = router_.spec().k();
+  return router_.distance(Permutation::unrank(k, src),
+                          Permutation::unrank(k, dst));
+}
+
+void register_oracle_policy() {
+  register_route_policy("oracle", [](const NetworkSpec& net) {
+    return std::unique_ptr<RoutePolicy>(new OraclePolicy(net));
+  });
+}
+
+}  // namespace scg

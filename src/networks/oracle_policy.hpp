@@ -1,0 +1,45 @@
+// OraclePolicy — RoutePolicy over the exact distance oracle: every path it
+// emits has provably minimal hop count.  Like oracle_router.hpp this header
+// lives in src/networks/ beside the other policies but is compiled into the
+// scg_oracle library (the oracle depends on scg_networks, so registering it
+// from scg_networks would cycle).
+//
+// The "oracle" registry name is NOT available by default: binaries that
+// want it must call register_oracle_policy() once at startup.  An explicit
+// call because the linker drops self-registration objects from static
+// libraries, and because oracle construction (one retrograde BFS over all
+// k! states) should never be a surprise side effect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "networks/oracle_router.hpp"
+#include "networks/route_policy.hpp"
+
+namespace scg {
+
+class OraclePolicy : public RoutePolicy {
+ public:
+  /// Builds the oracle for `net` (borrows the spec; it must outlive the
+  /// policy).  Throws for k > kMaxOracleSymbols.
+  explicit OraclePolicy(const NetworkSpec& net, ThreadPool* pool = nullptr);
+
+  /// Adopts a previously built (or loaded) oracle.
+  explicit OraclePolicy(DistanceOracle oracle);
+
+  std::string name() const override { return "oracle"; }
+  void route_path(std::uint64_t src, std::uint64_t dst,
+                  std::vector<std::uint32_t>& out) override;
+  int route_hops(std::uint64_t src, std::uint64_t dst) override;
+
+  const OracleRouter& router() const { return router_; }
+
+ private:
+  OracleRouter router_;
+};
+
+/// Adds "oracle" to the route-policy registry.  Idempotent.
+void register_oracle_policy();
+
+}  // namespace scg

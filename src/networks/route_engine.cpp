@@ -538,9 +538,15 @@ void RouteEngine::expand_path(std::uint64_t src_rank,
     throw std::invalid_argument("expand_path: ranks exceed 32 bits");
   }
   out.clear();
-  out.reserve(word.size() + 1);
+  out.resize(word.size() + 1);
+  expand_path_into(src_rank, word, out.data());
+}
+
+void RouteEngine::expand_path_into(std::uint64_t src_rank,
+                                   std::span<const Generator> word,
+                                   std::uint32_t* out) const {
   Permutation u = Permutation::unrank(net_->k(), src_rank);
-  out.push_back(static_cast<std::uint32_t>(src_rank));
+  *out++ = static_cast<std::uint32_t>(src_rank);
   std::array<std::uint8_t, kMaxSymbols> tmp{};
   for (const Generator& g : word) {
     const int key = gen_key(g);
@@ -553,7 +559,7 @@ void RouteEngine::expand_path(std::uint64_t src_rank,
       for (int p = 0; p < cg.prefix_len; ++p) tmp[p] = u[cg.tab[p]];
       for (int p = 0; p < cg.prefix_len; ++p) u[p] = tmp[p];
     }
-    out.push_back(static_cast<std::uint32_t>(u.rank()));
+    *out++ = static_cast<std::uint32_t>(u.rank());
   }
 }
 

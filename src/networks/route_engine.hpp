@@ -211,6 +211,12 @@ class RouteEngine {
   void expand_path(std::uint64_t src_rank, std::span<const Generator> word,
                    std::vector<std::uint32_t>& out) const;
 
+  /// Pointer form of expand_path for arena-backed batches: writes exactly
+  /// word.size() + 1 ranks at `out` (caller guarantees the capacity).
+  void expand_path_into(std::uint64_t src_rank,
+                        std::span<const Generator> word,
+                        std::uint32_t* out) const;
+
   RouteCacheStats cache_stats() const;
   void clear_cache();
 

@@ -1,93 +1,36 @@
 #include "sim/cutthrough.hpp"
 
-#include <algorithm>
-#include <queue>
 #include <stdexcept>
 
+#include "sim/event_core.hpp"
+
 namespace scg {
+
+CutThroughResult simulate_cut_through(const Graph& g,
+                                      const OffchipTable& offchip,
+                                      std::vector<SimPacket> packets,
+                                      const CutThroughConfig& cfg) {
+  EventSimConfig ec;
+  ec.flits_per_packet = cfg.flits_per_packet;
+  ec.onchip_cycles_per_flit = cfg.onchip_cycles_per_flit;
+  ec.offchip_cycles_per_flit = cfg.offchip_cycles_per_flit;
+  const EventSimResult r = simulate_events(g, offchip, packets, ec);
+  CutThroughResult res;
+  res.completion_cycles = r.completion_cycles;
+  res.avg_latency = r.avg_latency;
+  res.packets = r.packets;
+  res.flit_hops = r.flit_hops;
+  res.max_link_busy = r.max_link_busy;
+  res.telemetry = r.telemetry;
+  return res;
+}
 
 CutThroughResult simulate_cut_through(
     const Graph& g, const std::function<bool(std::int32_t)>& is_offchip,
     std::vector<SimPacket> packets, const CutThroughConfig& cfg) {
-  struct Event {
-    std::uint64_t ready;   // earliest time the packet can start its next hop
-    std::uint32_t packet;
-    std::uint32_t hop;     // node index within the path the packet heads from
-    bool operator>(const Event& o) const { return ready > o.ready; }
-  };
-
   if (cfg.flits_per_packet < 1) throw std::invalid_argument("flits >= 1");
-  CutThroughResult res;
-  res.packets = packets.size();
-  const std::uint64_t flits = static_cast<std::uint64_t>(cfg.flits_per_packet);
-
-  std::vector<std::uint64_t> link_free(g.num_links(), 0);
-  std::vector<std::uint64_t> link_busy(g.num_links(), 0);
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
-
-  for (std::uint32_t p = 0; p < packets.size(); ++p) {
-    const SimPacket& pk = packets[p];
-    if (pk.path.empty() || pk.path.front() != pk.src || pk.path.back() != pk.dst) {
-      throw std::invalid_argument("packet path must run src..dst");
-    }
-    pq.push(Event{pk.inject_time, p, 0});
-  }
-
-  auto cycles_of = [&](std::uint64_t arc) -> std::uint64_t {
-    return static_cast<std::uint64_t>(is_offchip(g.arc_tag(arc))
-                                          ? cfg.offchip_cycles_per_flit
-                                          : cfg.onchip_cycles_per_flit);
-  };
-
-  std::uint64_t latency_sum = 0;
-  while (!pq.empty()) {
-    const Event ev = pq.top();
-    pq.pop();
-    const SimPacket& pk = packets[ev.packet];
-    if (ev.hop + 1 >= pk.path.size()) {  // tail has arrived at dst
-      res.completion_cycles = std::max(res.completion_cycles, ev.ready);
-      latency_sum += ev.ready - pk.inject_time;
-      continue;
-    }
-    const std::uint64_t arc = g.find_arc(pk.path[ev.hop], pk.path[ev.hop + 1]);
-    if (arc == g.num_links()) {
-      throw std::invalid_argument("packet path uses a non-existent link");
-    }
-    const std::uint64_t c = cycles_of(arc);
-    const std::uint64_t start = std::max(ev.ready, link_free[arc]);
-    link_free[arc] = start + flits * c;
-    link_busy[arc] += flits * c;
-    res.flit_hops += flits;
-
-    std::uint64_t next_ready;
-    if (ev.hop + 2 >= pk.path.size()) {
-      // Final hop: the packet is done when its tail arrives.
-      next_ready = start + flits * c;
-    } else {
-      // Cut-through: the head may proceed after one flit time, but a faster
-      // downstream link must wait until it can stream without starving
-      // (flit i must be fully received before its downstream slot begins):
-      //   s_d >= s_u + max(c, F*c - (F-1)*c_d).
-      const std::uint64_t next_arc =
-          g.find_arc(pk.path[ev.hop + 1], pk.path[ev.hop + 2]);
-      if (next_arc == g.num_links()) {
-        throw std::invalid_argument("packet path uses a non-existent link");
-      }
-      const std::uint64_t cd = cycles_of(next_arc);
-      const std::uint64_t stream_gap =
-          flits * c > (flits - 1) * cd ? flits * c - (flits - 1) * cd : 0;
-      next_ready = start + std::max(c, stream_gap);
-    }
-    pq.push(Event{next_ready, ev.packet, ev.hop + 1});
-  }
-
-  if (res.packets > 0) {
-    res.avg_latency = static_cast<double>(latency_sum) / static_cast<double>(res.packets);
-  }
-  for (const std::uint64_t b : link_busy) {
-    res.max_link_busy = std::max(res.max_link_busy, static_cast<double>(b));
-  }
-  return res;
+  return simulate_cut_through(g, OffchipTable(g, is_offchip),
+                              std::move(packets), cfg);
 }
 
 }  // namespace scg

@@ -14,13 +14,16 @@
 //
 // Compared to sim/mcmp.hpp (store-and-forward, 1-flit packets) this adds:
 // multi-flit packets, pipelined hops, and per-link flit serialisation.
+// Both are the same unified event core (sim/event_core.hpp); this header
+// is its flits_per_packet > 1 projection and depends only on the shared
+// packet types — not on mcmp.hpp or any router.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
-#include "sim/mcmp.hpp"
+#include "sim/packet.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
@@ -37,10 +40,19 @@ struct CutThroughResult {
   std::uint64_t packets = 0;
   std::uint64_t flit_hops = 0;
   double max_link_busy = 0.0;
+  SimTelemetry telemetry;     ///< event-core counters for this run
 };
 
 /// Runs the cut-through simulation over the same packet/path structures as
-/// the store-and-forward simulator.  `is_offchip(tag)` classifies links.
+/// the store-and-forward simulator, against a precomputed per-arc link
+/// classification.
+CutThroughResult simulate_cut_through(const Graph& g,
+                                      const OffchipTable& offchip,
+                                      std::vector<SimPacket> packets,
+                                      const CutThroughConfig& cfg);
+
+/// Convenience overload: `is_offchip(tag)` classifies links; the table is
+/// built once per call.
 CutThroughResult simulate_cut_through(
     const Graph& g, const std::function<bool(std::int32_t)>& is_offchip,
     std::vector<SimPacket> packets, const CutThroughConfig& cfg);

@@ -1,0 +1,109 @@
+// The unified discrete-event simulation core.
+//
+// One engine subsumes the three simulators that used to be separate event
+// loops: store-and-forward MCMP is the `flits_per_packet == 1` point of the
+// virtual cut-through model, and degradation-under-failure is the same loop
+// with `fault_mode` on (a fault schedule accumulates into a FaultSet;
+// blocked hops time out, re-route through a pluggable Rerouter and
+// retransmit with exponential backoff).  simulate_mcmp,
+// simulate_mcmp_faulty and simulate_cut_through remain as thin wrappers
+// over this core and reproduce their historical results exactly: the event
+// ordering (a min-heap on time with implementation-stable tie handling),
+// the FIFO link-occupancy rule, and every accumulation order are preserved.
+//
+// Two ways to feed traffic:
+//  * pre-routed: a span of SimPacket whose paths were materialised up
+//    front (the legacy shape);
+//  * lazy: a span of TrafficPair plus a RoutePolicy — the core sorts the
+//    pairs by injection time and routes them in chunks through
+//    RoutePolicy::route_paths the first time a packet's event pops, so a
+//    long-horizon workload pays for routing as traffic enters the network
+//    (and batch-capable policies amortise it through route_batch and the
+//    relative-permutation cache) instead of materialising every path
+//    before cycle 0.
+//
+// Every run reports SimTelemetry: events processed, queue high-water mark,
+// wall time split between routing and transit, lazy chunk count and the
+// policy's route-cache hit rate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "networks/route_policy.hpp"
+#include "sim/packet.hpp"
+#include "topology/graph.hpp"
+
+namespace scg {
+
+struct EventSimConfig {
+  /// 1 = store-and-forward; > 1 = virtual cut-through with this many flits.
+  int flits_per_packet = 1;
+  int onchip_cycles_per_flit = 1;
+  int offchip_cycles_per_flit = 1;  ///< set to d_I under a unit pin budget
+
+  /// Enables the degradation-under-failure machinery: the max_cycles guard,
+  /// fault accumulation from the schedule, timeout/re-route/backoff on
+  /// blocked hops, and the delivered/latency-percentile/stretch accounting.
+  bool fault_mode = false;
+  int timeout_cycles = 4;    ///< detection delay when a hop is dead
+  int max_retransmits = 8;   ///< rerouting attempts before dropping
+  int backoff_base = 2;      ///< first retry waits base, then doubles...
+  int backoff_cap = 1024;    ///< ...up to this many cycles
+  std::uint64_t max_cycles = std::uint64_t{1} << 32;  ///< hard stop
+
+  /// Lazy routing granularity: pairs routed per RoutePolicy::route_paths
+  /// call (in injection order).
+  std::size_t route_chunk = 4096;
+};
+
+/// Superset of the legacy SimResult / FaultSimResult / CutThroughResult
+/// fields; the wrappers project out their slices.  Percentiles, timeout and
+/// stretch fields are populated only in fault mode.
+struct EventSimResult {
+  std::uint64_t packets = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  double delivered_fraction = 1.0;
+  std::uint64_t completion_cycles = 0;  ///< time the last packet arrives
+  double avg_latency = 0.0;             ///< mean (arrival - inject), delivered
+  std::uint64_t p50_latency = 0;
+  std::uint64_t p99_latency = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t offchip_hops = 0;       ///< intercluster transmissions
+  std::uint64_t flit_hops = 0;          ///< total_hops * flits_per_packet
+  double max_link_busy = 0.0;           ///< busiest link's busy cycles
+  std::uint64_t timeouts = 0;           ///< dead-hop detections
+  std::uint64_t retransmissions = 0;    ///< successful re-route + resend
+  double avg_stretch = 0.0;  ///< hops walked / pristine path hops (delivered)
+  double max_stretch = 0.0;
+  SimTelemetry telemetry;
+};
+
+/// Pre-routed entry point: every packet carries its path.  Paths whose hops
+/// are not arcs of `g` raise std::invalid_argument, as do paths not running
+/// src..dst.  `schedule` and `reroute` are consulted only in fault mode
+/// (a null `reroute` drops packets at the first blocked hop).
+EventSimResult simulate_events(const Graph& g, const OffchipTable& offchip,
+                               std::span<const SimPacket> packets,
+                               const EventSimConfig& cfg,
+                               std::span<const LinkFault> schedule = {},
+                               const Rerouter* reroute = nullptr);
+
+/// Lazy entry point: routes `pairs` through `policy` in injection-time
+/// order, `cfg.route_chunk` pairs per batch, the first time each packet's
+/// injection event pops.  Identical results to routing every pair up front
+/// and calling the pre-routed form (the event sequence does not depend on
+/// when paths materialise).
+EventSimResult simulate_events(const Graph& g, const OffchipTable& offchip,
+                               std::span<const TrafficPair> pairs,
+                               RoutePolicy& policy, const EventSimConfig& cfg,
+                               std::span<const LinkFault> schedule = {},
+                               const Rerouter* reroute = nullptr);
+
+/// The canonical MCMP link classification for a Cayley network: nucleus
+/// generators are on-chip, super generators off-chip.
+OffchipTable mcmp_offchip_table(const NetworkSpec& net, const Graph& g);
+
+}  // namespace scg

@@ -1,8 +1,6 @@
 #include "sim/mcmp.hpp"
 
-#include <algorithm>
-#include <queue>
-#include <stdexcept>
+#include "sim/event_core.hpp"
 
 namespace scg {
 
@@ -20,65 +18,63 @@ Rerouter make_rerouter(const FaultRouter& router) {
   };
 }
 
+SimResult simulate_mcmp(const Graph& g, const OffchipTable& offchip,
+                        std::vector<SimPacket> packets, const SimConfig& cfg) {
+  EventSimConfig ec;
+  ec.flits_per_packet = 1;
+  ec.onchip_cycles_per_flit = cfg.onchip_cycles;
+  ec.offchip_cycles_per_flit = cfg.offchip_cycles;
+  const EventSimResult r = simulate_events(g, offchip, packets, ec);
+  SimResult res;
+  res.completion_cycles = r.completion_cycles;
+  res.avg_latency = r.avg_latency;
+  res.packets = r.packets;
+  res.total_hops = r.total_hops;
+  res.offchip_hops = r.offchip_hops;
+  res.max_link_busy = r.max_link_busy;
+  res.telemetry = r.telemetry;
+  return res;
+}
+
 SimResult simulate_mcmp(const Graph& g,
                         const std::function<bool(std::int32_t)>& is_offchip,
                         std::vector<SimPacket> packets, const SimConfig& cfg) {
-  struct Event {
-    std::uint64_t time;
-    std::uint32_t packet;
-    std::uint32_t hop;  // index into path: the node the packet sits at
-    bool operator>(const Event& o) const { return time > o.time; }
-  };
+  return simulate_mcmp(g, OffchipTable(g, is_offchip), std::move(packets), cfg);
+}
 
-  SimResult res;
-  res.packets = packets.size();
-  if (packets.size() > UINT32_MAX) throw std::invalid_argument("too many packets");
-
-  std::vector<std::uint64_t> link_free(g.num_links(), 0);
-  std::vector<std::uint64_t> link_busy(g.num_links(), 0);
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
-
-  for (std::uint32_t p = 0; p < packets.size(); ++p) {
-    const SimPacket& pk = packets[p];
-    if (pk.path.empty() || pk.path.front() != pk.src || pk.path.back() != pk.dst) {
-      throw std::invalid_argument("packet path must run src..dst");
-    }
-    pq.push(Event{pk.inject_time, p, 0});
-  }
-
-  std::uint64_t latency_sum = 0;
-  while (!pq.empty()) {
-    const Event ev = pq.top();
-    pq.pop();
-    const SimPacket& pk = packets[ev.packet];
-    if (ev.hop + 1 >= pk.path.size()) {  // arrived
-      res.completion_cycles = std::max(res.completion_cycles, ev.time);
-      latency_sum += ev.time - pk.inject_time;
-      continue;
-    }
-    const std::uint64_t u = pk.path[ev.hop];
-    const std::uint64_t v = pk.path[ev.hop + 1];
-    const std::uint64_t arc = g.find_arc(u, v);
-    if (arc == g.num_links()) {
-      throw std::invalid_argument("packet path uses a non-existent link");
-    }
-    const bool off = is_offchip(g.arc_tag(arc));
-    const std::uint64_t occ =
-        static_cast<std::uint64_t>(off ? cfg.offchip_cycles : cfg.onchip_cycles);
-    const std::uint64_t start = std::max(ev.time, link_free[arc]);
-    link_free[arc] = start + occ;
-    link_busy[arc] += occ;
-    ++res.total_hops;
-    if (off) ++res.offchip_hops;
-    pq.push(Event{start + occ, ev.packet, ev.hop + 1});
-  }
-
-  if (res.packets > 0) {
-    res.avg_latency = static_cast<double>(latency_sum) / static_cast<double>(res.packets);
-  }
-  for (const std::uint64_t b : link_busy) {
-    res.max_link_busy = std::max(res.max_link_busy, static_cast<double>(b));
-  }
+FaultSimResult simulate_mcmp_faulty(
+    const Graph& g, const OffchipTable& offchip,
+    std::vector<SimPacket> packets, std::vector<LinkFault> schedule,
+    const Rerouter& reroute, const FaultSimConfig& cfg) {
+  EventSimConfig ec;
+  ec.flits_per_packet = 1;
+  ec.onchip_cycles_per_flit = cfg.onchip_cycles;
+  ec.offchip_cycles_per_flit = cfg.offchip_cycles;
+  ec.fault_mode = true;
+  ec.timeout_cycles = cfg.timeout_cycles;
+  ec.max_retransmits = cfg.max_retransmits;
+  ec.backoff_base = cfg.backoff_base;
+  ec.backoff_cap = cfg.backoff_cap;
+  ec.max_cycles = cfg.max_cycles;
+  const EventSimResult r =
+      simulate_events(g, offchip, packets, ec, schedule, &reroute);
+  FaultSimResult res;
+  res.packets = r.packets;
+  res.delivered = r.delivered;
+  res.dropped = r.dropped;
+  res.delivered_fraction = r.delivered_fraction;
+  res.timeouts = r.timeouts;
+  res.retransmissions = r.retransmissions;
+  res.completion_cycles = r.completion_cycles;
+  res.avg_latency = r.avg_latency;
+  res.p50_latency = r.p50_latency;
+  res.p99_latency = r.p99_latency;
+  res.avg_stretch = r.avg_stretch;
+  res.max_stretch = r.max_stretch;
+  res.total_hops = r.total_hops;
+  res.offchip_hops = r.offchip_hops;
+  res.max_link_busy = r.max_link_busy;
+  res.telemetry = r.telemetry;
   return res;
 }
 
@@ -86,148 +82,9 @@ FaultSimResult simulate_mcmp_faulty(
     const Graph& g, const std::function<bool(std::int32_t)>& is_offchip,
     std::vector<SimPacket> packets, std::vector<LinkFault> schedule,
     const Rerouter& reroute, const FaultSimConfig& cfg) {
-  struct Event {
-    std::uint64_t time;
-    std::uint32_t packet;
-    bool operator>(const Event& o) const { return time > o.time; }
-  };
-  // Per-packet mutable routing state (SimPacket stays the immutable input).
-  struct PacketState {
-    std::vector<std::uint32_t> path;  // current (possibly repaired) route
-    std::uint32_t hop = 0;            // index into path: node the packet is at
-    int retransmits = 0;
-    std::uint64_t hops_walked = 0;
-  };
-
-  FaultSimResult res;
-  res.packets = packets.size();
-  if (packets.size() > UINT32_MAX) throw std::invalid_argument("too many packets");
-
-  std::sort(schedule.begin(), schedule.end(),
-            [](const LinkFault& a, const LinkFault& b) { return a.time < b.time; });
-  FaultSet faults;
-  std::size_t next_fault = 0;
-  const auto apply_faults_until = [&](std::uint64_t now) {
-    while (next_fault < schedule.size() && schedule[next_fault].time <= now) {
-      const LinkFault& f = schedule[next_fault++];
-      // The physical channel dies: both directions (failing a nonexistent
-      // reverse arc of a one-way link is harmless — blocks() only ever sees
-      // real hops).
-      faults.fail_link(f.u, f.v);
-    }
-  };
-
-  std::vector<std::uint64_t> link_free(g.num_links(), 0);
-  std::vector<std::uint64_t> link_busy(g.num_links(), 0);
-  std::vector<PacketState> state(packets.size());
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> pq;
-
-  for (std::uint32_t p = 0; p < packets.size(); ++p) {
-    const SimPacket& pk = packets[p];
-    if (pk.path.empty() || pk.path.front() != pk.src || pk.path.back() != pk.dst) {
-      throw std::invalid_argument("packet path must run src..dst");
-    }
-    state[p].path = pk.path;
-    pq.push(Event{pk.inject_time, p});
-  }
-
-  std::vector<std::uint64_t> latencies;
-  std::vector<double> stretches;
-  latencies.reserve(packets.size());
-  stretches.reserve(packets.size());
-  const auto drop = [&](std::uint32_t) { ++res.dropped; };
-
-  while (!pq.empty()) {
-    const Event ev = pq.top();
-    pq.pop();
-    const SimPacket& pk = packets[ev.packet];
-    PacketState& ps = state[ev.packet];
-    if (ev.time > cfg.max_cycles) {  // deadlock/livelock guard
-      drop(ev.packet);
-      continue;
-    }
-    apply_faults_until(ev.time);
-    if (ps.hop + 1 >= ps.path.size()) {  // arrived
-      ++res.delivered;
-      res.completion_cycles = std::max(res.completion_cycles, ev.time);
-      latencies.push_back(ev.time - pk.inject_time);
-      const std::uint64_t pristine =
-          pk.path.size() > 1 ? pk.path.size() - 1 : 1;
-      stretches.push_back(static_cast<double>(ps.hops_walked) /
-                          static_cast<double>(pristine));
-      continue;
-    }
-    const std::uint64_t u = ps.path[ps.hop];
-    const std::uint64_t v = ps.path[ps.hop + 1];
-    if (faults.blocks(u, v)) {
-      // Dead hop: detect after the timeout, re-route from here, retransmit
-      // after exponential backoff.  Faults only accumulate, so a repaired
-      // route can only be invalidated by *newer* kills — each of which
-      // costs one more retransmit attempt from the budget.
-      ++res.timeouts;
-      ++ps.retransmits;
-      if (ps.retransmits > cfg.max_retransmits) {
-        drop(ev.packet);
-        continue;
-      }
-      std::vector<std::uint32_t> repaired = reroute(u, pk.dst, faults);
-      if (repaired.empty()) {
-        drop(ev.packet);  // destination unreachable from here
-        continue;
-      }
-      ++res.retransmissions;
-      ps.path = std::move(repaired);
-      ps.hop = 0;
-      const std::uint64_t backoff = std::min<std::uint64_t>(
-          static_cast<std::uint64_t>(cfg.backoff_cap),
-          static_cast<std::uint64_t>(cfg.backoff_base)
-              << (ps.retransmits - 1));
-      pq.push(Event{ev.time + static_cast<std::uint64_t>(cfg.timeout_cycles) +
-                        backoff,
-                    ev.packet});
-      continue;
-    }
-    const std::uint64_t arc = g.find_arc(u, v);
-    if (arc == g.num_links()) {
-      throw std::invalid_argument("packet path uses a non-existent link");
-    }
-    const bool off = is_offchip(g.arc_tag(arc));
-    const std::uint64_t occ =
-        static_cast<std::uint64_t>(off ? cfg.offchip_cycles : cfg.onchip_cycles);
-    const std::uint64_t start = std::max(ev.time, link_free[arc]);
-    link_free[arc] = start + occ;
-    link_busy[arc] += occ;
-    ++res.total_hops;
-    ++ps.hops_walked;
-    if (off) ++res.offchip_hops;
-    ++ps.hop;
-    pq.push(Event{start + occ, ev.packet});
-  }
-
-  res.delivered_fraction =
-      res.packets > 0
-          ? static_cast<double>(res.delivered) / static_cast<double>(res.packets)
-          : 1.0;
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    std::uint64_t sum = 0;
-    for (const std::uint64_t l : latencies) sum += l;
-    res.avg_latency =
-        static_cast<double>(sum) / static_cast<double>(latencies.size());
-    res.p50_latency = latencies[latencies.size() / 2];
-    res.p99_latency = latencies[std::min(latencies.size() - 1,
-                                         (latencies.size() * 99) / 100)];
-    double ssum = 0;
-    for (const double s : stretches) {
-      ssum += s;
-      res.max_stretch = std::max(res.max_stretch, s);
-    }
-    res.avg_stretch = ssum / static_cast<double>(stretches.size());
-  }
-  for (const std::uint64_t b : link_busy) {
-    res.max_link_busy = std::max(res.max_link_busy, static_cast<double>(b));
-  }
-  return res;
+  return simulate_mcmp_faulty(g, OffchipTable(g, is_offchip),
+                              std::move(packets), std::move(schedule), reroute,
+                              cfg);
 }
 
 }  // namespace scg

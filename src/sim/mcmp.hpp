@@ -17,6 +17,11 @@
 // Rerouter, usually the fault-aware router) and retransmit with exponential
 // backoff; the result reports delivered fraction, retransmissions, latency
 // percentiles and path stretch instead of crashing on the first dead hop.
+//
+// Both simulators are thin projections of the unified event core
+// (sim/event_core.hpp): store-and-forward is its flits_per_packet == 1
+// configuration, the faulty variant its fault_mode.  Results are identical
+// to the historical standalone loops.
 #pragma once
 
 #include <cstdint>
@@ -24,22 +29,11 @@
 #include <vector>
 
 #include "networks/fault_router.hpp"
+#include "sim/packet.hpp"
 #include "topology/fault_set.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
-
-struct SimPacket {
-  std::uint64_t src = 0;
-  std::uint64_t dst = 0;
-  std::vector<std::uint32_t> path;  ///< node sequence src..dst (inclusive)
-  std::uint64_t inject_time = 0;
-};
-
-struct SimConfig {
-  int onchip_cycles = 1;    ///< link occupancy of an on-chip hop
-  int offchip_cycles = 1;   ///< link occupancy of an off-chip hop (≈ d_I / w)
-};
 
 struct SimResult {
   std::uint64_t completion_cycles = 0;  ///< time the last packet arrives
@@ -48,29 +42,24 @@ struct SimResult {
   std::uint64_t total_hops = 0;
   std::uint64_t offchip_hops = 0;       ///< intercluster transmissions
   double max_link_busy = 0.0;           ///< busiest link's busy cycles
+  SimTelemetry telemetry;               ///< event-core counters for this run
 };
 
-/// Runs the simulation.  `is_offchip(tag)` classifies each link by its edge
-/// tag (for Cayley graphs the tag is the generator index).  Packets whose
-/// path hops do not correspond to arcs of `g` raise std::invalid_argument.
+/// Runs the simulation against a precomputed per-arc link classification.
+/// Packets whose path hops do not correspond to arcs of `g` raise
+/// std::invalid_argument.
+SimResult simulate_mcmp(const Graph& g, const OffchipTable& offchip,
+                        std::vector<SimPacket> packets, const SimConfig& cfg);
+
+/// Convenience overload: `is_offchip(tag)` classifies each link by its edge
+/// tag (for Cayley graphs the tag is the generator index); the table is
+/// built once per call, so the predicate runs per distinct tag, not per
+/// event.
 SimResult simulate_mcmp(const Graph& g,
                         const std::function<bool(std::int32_t)>& is_offchip,
                         std::vector<SimPacket> packets, const SimConfig& cfg);
 
 // ---- degradation under failure ----
-
-/// One scheduled link kill: from cycle `time` on, the u<->v channel is dead
-/// in both directions.
-struct LinkFault {
-  std::uint64_t time = 0;
-  std::uint64_t u = 0;
-  std::uint64_t v = 0;
-};
-
-/// Computes a repaired node path `at..dst` avoiding `faults`, or an empty
-/// vector when no surviving route exists.
-using Rerouter = std::function<std::vector<std::uint32_t>(
-    std::uint64_t at, std::uint64_t dst, const FaultSet& faults)>;
 
 /// Adapts the fault-aware router into the simulator's Rerouter slot.  The
 /// router must outlive the returned callable.
@@ -102,6 +91,7 @@ struct FaultSimResult {
   std::uint64_t total_hops = 0;
   std::uint64_t offchip_hops = 0;
   double max_link_busy = 0.0;
+  SimTelemetry telemetry;               ///< event-core counters for this run
 };
 
 /// simulate_mcmp with a fault schedule.  Faults accumulate: once dead, a
@@ -110,6 +100,11 @@ struct FaultSimResult {
 /// then-current FaultSet, and retransmits after exponential backoff; it is
 /// dropped (not crashed on) after `max_retransmits` attempts or when no
 /// surviving route exists.  Deterministic given packets + schedule.
+FaultSimResult simulate_mcmp_faulty(
+    const Graph& g, const OffchipTable& offchip,
+    std::vector<SimPacket> packets, std::vector<LinkFault> schedule,
+    const Rerouter& reroute, const FaultSimConfig& cfg);
+
 FaultSimResult simulate_mcmp_faulty(
     const Graph& g, const std::function<bool(std::int32_t)>& is_offchip,
     std::vector<SimPacket> packets, std::vector<LinkFault> schedule,

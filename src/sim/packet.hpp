@@ -1,0 +1,96 @@
+// Shared traffic value types for the simulation layer.
+//
+// Split out of mcmp.hpp so that every simulator (store-and-forward,
+// cut-through, fault-mode) can consume packets without dragging in the
+// fault-aware router: cutthrough.hpp used to transitively include
+// fault_router.hpp (and with it the whole engine + max-flow machinery) just
+// to see SimPacket.  This header depends only on the topology layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "topology/fault_set.hpp"
+#include "topology/graph.hpp"
+
+namespace scg {
+
+struct SimPacket {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::vector<std::uint32_t> path;  ///< node sequence src..dst (inclusive)
+  std::uint64_t inject_time = 0;
+};
+
+/// A packet that has not been routed yet: endpoints + injection time only.
+/// The event core routes these lazily at injection time through a
+/// RoutePolicy instead of materialising every path before cycle 0.
+struct TrafficPair {
+  std::uint64_t src = 0;
+  std::uint64_t dst = 0;
+  std::uint64_t inject_time = 0;
+};
+
+struct SimConfig {
+  int onchip_cycles = 1;    ///< link occupancy of an on-chip hop
+  int offchip_cycles = 1;   ///< link occupancy of an off-chip hop (≈ d_I / w)
+};
+
+/// One scheduled link kill: from cycle `time` on, the u<->v channel is dead
+/// in both directions.
+struct LinkFault {
+  std::uint64_t time = 0;
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+};
+
+/// Computes a repaired node path `at..dst` avoiding `faults`, or an empty
+/// vector when no surviving route exists.
+using Rerouter = std::function<std::vector<std::uint32_t>(
+    std::uint64_t at, std::uint64_t dst, const FaultSet& faults)>;
+
+/// Per-arc link classification, precomputed once per simulation.  The
+/// simulators used to call a std::function<bool(int32_t)> on every event —
+/// a type-erased indirect call on the hottest path.  This table memoises
+/// the predicate per distinct edge tag and stores one byte per arc, so the
+/// event loop does a single indexed load instead.
+class OffchipTable {
+ public:
+  OffchipTable() = default;
+
+  /// Classifies every arc of `g` by `is_offchip(tag)` (called once per
+  /// distinct tag, not once per arc).
+  OffchipTable(const Graph& g, const std::function<bool(std::int32_t)>& is_offchip);
+
+  /// Every arc on-chip (false) or off-chip (true).
+  static OffchipTable uniform(const Graph& g, bool offchip);
+
+  bool offchip(std::uint64_t arc) const { return by_arc_[arc] != 0; }
+  std::uint64_t num_arcs() const { return by_arc_.size(); }
+
+ private:
+  std::vector<std::uint8_t> by_arc_;
+};
+
+/// Per-run engine telemetry, threaded through every simulator result.
+/// Counter fields (events, queue peak, chunks, cache) are deterministic;
+/// the *_ns wall-clock splits are host measurements and must never be
+/// compared across runs as invariants.
+struct SimTelemetry {
+  std::uint64_t events_processed = 0;  ///< priority-queue pops
+  std::uint64_t queue_peak = 0;        ///< event-queue high-water mark
+  std::uint64_t routing_ns = 0;        ///< wall time spent routing packets
+  std::uint64_t transit_ns = 0;        ///< wall time spent in the event loop
+  std::uint64_t route_chunks = 0;      ///< lazy route_batch chunks issued
+  std::uint64_t cache_hits = 0;        ///< policy route-cache hits this run
+  std::uint64_t cache_misses = 0;      ///< policy route-cache misses this run
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+}  // namespace scg

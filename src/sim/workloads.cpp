@@ -1,98 +1,67 @@
 #include "sim/workloads.hpp"
 
 #include <random>
-#include <stdexcept>
 
-#include "networks/route_engine.hpp"
 #include "parallel/parallel_for.hpp"
-#include "topology/bfs.hpp"
 
 namespace scg {
-namespace {
 
-/// Batch path generation: solve every (src, dst) pair through the
-/// RouteEngine (SoA batch + relative-permutation cache — all-to-all traffic
-/// has only n-1 distinct relative displacements), then expand the words into
-/// rank paths in parallel.  Packet order matches the pair order.
-std::vector<SimPacket> packets_from_pairs(const NetworkSpec& net,
-                                          const std::vector<std::uint64_t>& src,
-                                          const std::vector<std::uint64_t>& dst) {
-  const RouteEngine engine(net);
-  RouteBatch batch;
-  engine.route_batch(src, dst, batch);
-  std::vector<SimPacket> packets(src.size());
-  parallel_for_chunks(src.size(), [&](std::uint64_t lo, std::uint64_t hi) {
+std::vector<TrafficPair> total_exchange_pairs(std::uint64_t num_nodes) {
+  std::vector<TrafficPair> pairs;
+  pairs.reserve(num_nodes * (num_nodes - 1));
+  for (std::uint64_t s = 0; s < num_nodes; ++s) {
+    for (std::uint64_t d = 0; d < num_nodes; ++d) {
+      if (s == d) continue;
+      pairs.push_back(TrafficPair{s, d, 0});
+    }
+  }
+  return pairs;
+}
+
+std::vector<TrafficPair> random_traffic_pairs(std::uint64_t num_nodes,
+                                              int per_node,
+                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> pick(0, num_nodes - 1);
+  std::vector<TrafficPair> pairs;
+  pairs.reserve(num_nodes * static_cast<std::uint64_t>(per_node));
+  for (std::uint64_t s = 0; s < num_nodes; ++s) {
+    for (int i = 0; i < per_node; ++i) {
+      std::uint64_t d = pick(rng);
+      if (d == s) d = (d + 1) % num_nodes;
+      pairs.push_back(TrafficPair{s, d, 0});
+    }
+  }
+  return pairs;
+}
+
+std::vector<SimPacket> packets_for(RoutePolicy& policy,
+                                   std::span<const TrafficPair> pairs) {
+  std::vector<std::uint64_t> src(pairs.size());
+  std::vector<std::uint64_t> dst(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    src[i] = pairs[i].src;
+    dst[i] = pairs[i].dst;
+  }
+  PathArena arena;
+  policy.route_paths(src, dst, arena);
+  std::vector<SimPacket> packets(pairs.size());
+  parallel_for_chunks(pairs.size(), [&](std::uint64_t lo, std::uint64_t hi) {
     for (std::uint64_t i = lo; i < hi; ++i) {
       SimPacket& p = packets[i];
-      p.src = src[i];
-      p.dst = dst[i];
-      engine.expand_path(src[i], batch.word(i), p.path);
+      p.src = pairs[i].src;
+      p.dst = pairs[i].dst;
+      p.inject_time = pairs[i].inject_time;
+      const std::span<const std::uint32_t> path = arena[i];
+      p.path.assign(path.begin(), path.end());
     }
   });
   return packets;
 }
 
-}  // namespace
-
-GraphRoutes::GraphRoutes(const Graph& g)
-    : view_(NetworkView::of(g)),
-      toward_(view_),
-      dist_to_(g.num_nodes()),
-      have_(g.num_nodes(), false) {
-  if (g.directed()) throw std::invalid_argument("GraphRoutes: undirected only");
-}
-
-GraphRoutes::GraphRoutes(const NetworkView& view)
-    : view_(view),
-      toward_(view),
-      dist_to_(view.num_nodes()),
-      have_(view.num_nodes(), false) {
-  if (view_.directed()) {
-    if (view_.spec() == nullptr) {
-      throw std::invalid_argument(
-          "GraphRoutes: directed routing needs a NetworkSpec-backed view");
-    }
-    toward_ = NetworkView::reverse_of(*view_.spec());
-  }
-}
-
-std::vector<std::uint32_t> GraphRoutes::path(std::uint64_t src, std::uint64_t dst) {
-  if (!have_[dst]) {
-    // BFS from dst over `toward_` (the reverse view for directed networks)
-    // gives distances towards dst.
-    dist_to_[dst] = bfs_distances(toward_, dst);
-    have_[dst] = true;
-  }
-  const std::vector<std::uint16_t>& dist = dist_to_[dst];
-  if (dist[src] == kUnreached) throw std::invalid_argument("GraphRoutes: unreachable");
-  std::vector<std::uint32_t> nodes{static_cast<std::uint32_t>(src)};
-  std::uint64_t cur = src;
-  while (cur != dst) {
-    std::uint64_t next = cur;
-    view_.for_each_neighbor(cur, [&](std::uint64_t v, std::int32_t) {
-      if (dist[v] + 1 == dist[cur] && (next == cur || v < next)) next = v;
-    });
-    if (next == cur) throw std::logic_error("GraphRoutes: no descent step");
-    nodes.push_back(static_cast<std::uint32_t>(next));
-    cur = next;
-  }
-  return nodes;
-}
-
 std::vector<SimPacket> total_exchange_packets(const NetworkSpec& net) {
-  const std::uint64_t n = net.num_nodes();
-  std::vector<std::uint64_t> src;
-  std::vector<std::uint64_t> dst;
-  src.reserve(n * (n - 1));
-  dst.reserve(n * (n - 1));
-  for (std::uint64_t s = 0; s < n; ++s) {
-    for (std::uint64_t d = 0; d < n; ++d) {
-      if (s == d) continue;
-      src.push_back(s);
-      dst.push_back(d);
-    }
-  }
-  return packets_from_pairs(net, src, dst);
+  GamePolicy policy(net);
+  return packets_for(policy, total_exchange_pairs(net.num_nodes()));
 }
 
 std::vector<SimPacket> total_exchange_packets(const Graph& g) {
@@ -115,22 +84,9 @@ std::vector<SimPacket> total_exchange_packets(const Graph& g) {
 
 std::vector<SimPacket> random_traffic_packets(const NetworkSpec& net,
                                               int per_node, std::uint64_t seed) {
-  const std::uint64_t n = net.num_nodes();
-  std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::uint64_t> pick(0, n - 1);
-  std::vector<std::uint64_t> src;
-  std::vector<std::uint64_t> dst;
-  src.reserve(n * static_cast<std::uint64_t>(per_node));
-  dst.reserve(n * static_cast<std::uint64_t>(per_node));
-  for (std::uint64_t s = 0; s < n; ++s) {
-    for (int i = 0; i < per_node; ++i) {
-      std::uint64_t d = pick(rng);
-      if (d == s) d = (d + 1) % n;
-      src.push_back(s);
-      dst.push_back(d);
-    }
-  }
-  return packets_from_pairs(net, src, dst);
+  GamePolicy policy(net);
+  return packets_for(policy,
+                     random_traffic_pairs(net.num_nodes(), per_node, seed));
 }
 
 std::vector<SimPacket> random_traffic_packets(const Graph& g, int per_node,

@@ -2,38 +2,43 @@
 // multinode broadcast (MNB, emulated with unicasts — see DESIGN.md), and
 // uniform random traffic, over either a Cayley network (paths from the
 // game-solver router) or an explicit graph (paths from per-destination BFS).
+//
+// Two layers: the *_pairs generators produce routing-free TrafficPair lists
+// (feed these to the event core's lazy entry point together with a
+// RoutePolicy), and the *_packets generators materialise full SimPacket
+// paths up front (the legacy shape; TE/MNB/random packets are byte-identical
+// to what they always produced).  GraphRoutes itself now lives in
+// networks/route_policy.hpp beside the policies; this header re-exports it.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "networks/route_policy.hpp"
 #include "networks/super_cayley.hpp"
 #include "networks/view.hpp"
-#include "sim/mcmp.hpp"
+#include "sim/packet.hpp"
 #include "topology/graph.hpp"
 
 namespace scg {
 
-/// A routing oracle over any NetworkView: shortest paths via one BFS per
-/// destination, cached.  Deterministic tie-breaking (lowest neighbor id).
-/// Undirected views BFS from the destination directly; directed views need
-/// a NetworkSpec-backed view so the reverse view can provide distances
-/// *towards* each destination.
-class GraphRoutes {
- public:
-  explicit GraphRoutes(const Graph& g);
-  explicit GraphRoutes(const NetworkView& view);
+// ---- endpoint generation (no routing) ----
 
-  /// Node sequence src..dst along a shortest path.
-  std::vector<std::uint32_t> path(std::uint64_t src, std::uint64_t dst);
+/// Total exchange: one pair per ordered (src, dst), src != dst.
+std::vector<TrafficPair> total_exchange_pairs(std::uint64_t num_nodes);
 
- private:
-  NetworkView view_;    // forward adjacency (descent steps)
-  NetworkView toward_;  // BFS from dst on this yields distances towards dst
-  // dist_to_[dst] lazily holds BFS distances *towards* dst.
-  std::vector<std::vector<std::uint16_t>> dist_to_;
-  std::vector<bool> have_;
-};
+/// Uniform random traffic: `per_node` pairs per source to uniformly random
+/// destinations (excluding self).  Same RNG stream as
+/// random_traffic_packets, so the two describe the same traffic.
+std::vector<TrafficPair> random_traffic_pairs(std::uint64_t num_nodes,
+                                              int per_node, std::uint64_t seed);
+
+// ---- path materialisation ----
+
+/// Routes every pair through `policy` (batched) into full SimPackets.
+std::vector<SimPacket> packets_for(RoutePolicy& policy,
+                                   std::span<const TrafficPair> pairs);
 
 /// Total exchange on a Cayley network: one packet per ordered node pair,
 /// routed by the network's game solver.

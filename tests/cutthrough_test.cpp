@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/cutthrough.hpp"
+#include "sim/mcmp.hpp"
 #include "sim/workloads.hpp"
 #include "topology/baselines.hpp"
 #include "topology/metrics.hpp"
