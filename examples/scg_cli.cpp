@@ -14,6 +14,14 @@
 //                                                 random traffic through the
 //                                                 event core, routed lazily
 //                                                 by the named policy
+//   scg_cli chaos <family> <l> <n> [policy] [per_node] [seed]
+//                                                 invariant-checked
+//                                                 degradation sweep: fault
+//                                                 kind x rate grid with
+//                                                 audited delivered-fraction
+//                                                 curves ("fault" reroutes,
+//                                                 "adaptive" also quarantines
+//                                                 sick links)
 //   scg_cli policies                              list registered route policies
 //
 // <family> ∈ {MS, RS, cRS, MR, RR, cRR, IS, MIS, RIS, cRIS, star, rotator,
@@ -29,6 +37,8 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/formulas.hpp"
+#include "chaos/adaptive_policy.hpp"
+#include "chaos/campaign.hpp"
 #include "networks/oracle_policy.hpp"
 #include "networks/route_policy.hpp"
 #include "networks/router.hpp"
@@ -220,16 +230,45 @@ int cmd_sim(const scg::NetworkSpec& net, const std::string& policy_name,
   return 0;
 }
 
+int cmd_chaos(const scg::NetworkSpec& net, const std::string& policy_name,
+              int per_node, std::uint64_t seed) {
+  scg::CampaignConfig cfg;
+  cfg.policy = policy_name;
+  cfg.packets_per_node = per_node;
+  cfg.seed = seed;
+  const scg::CampaignResult r = scg::run_campaign({net}, cfg);
+  std::printf("%s: %d packets/node, policy '%s' — degradation curves\n",
+              net.name.c_str(), per_node, policy_name.c_str());
+  std::printf("%-10s %5s %5s %9s %6s %6s %6s %6s %5s\n", "kind", "rate",
+              "count", "delivered", "retx", "p99", "stretch", "quar",
+              "audit");
+  for (const scg::CampaignCell& c : r.cells) {
+    std::printf("%-10s %5.2f %5d %9.4f %6llu %6llu %6.3f %6llu %5s\n",
+                scg::fault_kind_name(c.kind), c.rate, c.count,
+                c.result.delivered_fraction,
+                static_cast<unsigned long long>(c.result.retransmissions),
+                static_cast<unsigned long long>(c.result.p99_latency),
+                c.result.avg_stretch,
+                static_cast<unsigned long long>(c.quarantines),
+                c.invariants.ok() ? "ok" : "FAIL");
+  }
+  std::printf("invariant checks: %llu violations across %zu cells\n",
+              static_cast<unsigned long long>(r.total_violations),
+              r.cells.size());
+  return r.total_violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: scg_cli info|route|trace|dot|histogram|sim|families|"
-                 "policies ...\n");
+                 "usage: scg_cli info|route|trace|dot|histogram|sim|chaos|"
+                 "families|policies ...\n");
     return 2;
   }
-  scg::register_oracle_policy();  // make "oracle" selectable by name
+  scg::register_oracle_policy();    // make "oracle" selectable by name
+  scg::register_adaptive_policy();  // make "adaptive" selectable by name
   const std::string cmd = argv[1];
   if (cmd == "oracle") return cmd_oracle(argc, argv);
   if (cmd == "families") {
@@ -282,6 +321,13 @@ int main(int argc, char** argv) {
     const std::uint64_t seed =
         argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 7;
     return cmd_sim(net, policy, per_node, seed);
+  }
+  if (cmd == "chaos") {
+    const std::string policy = argc > 5 ? argv[5] : "fault";
+    const int per_node = argc > 6 ? std::atoi(argv[6]) : 4;
+    const std::uint64_t seed =
+        argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 7;
+    return cmd_chaos(net, policy, per_node, seed);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a sanitizer pass:
+# Tier-1 verification plus sanitizer passes:
 #   1. default build + full ctest (the tier-1 gate);
 #   2. ASan+UBSan build + the fast-labelled tests (large sweeps excluded —
-#      run `ctest --preset asan-fast` with no label filter to widen).
+#      run `ctest --preset asan-fast` with no label filter to widen);
+#   3. TSan build of the concurrency-heavy suites (ThreadPool, event-core
+#      lazy routing, chaos campaign), run directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,9 +46,30 @@ python3 scripts/compare_bench.py bench/baseline_sim.json \
   "$sim_dir/bench/baseline_sim.json" --tolerance 0.5
 rm -rf "$sim_dir"
 
+echo "== chaos campaign: invariant-audited degradation gate =="
+# bench_chaos exits non-zero on any invariant violation or a transient
+# full-repair cell that misses the fault-free delivered fraction; the JSON
+# gate then pins the integer degradation surface (delivered / timeouts /
+# retransmissions / completion cycles per cell) to the committed baseline.
+chaos_dir="$(mktemp -d /tmp/scg-chaos.XXXXXX)"
+mkdir -p "$chaos_dir/bench"
+(cd "$chaos_dir" && "$repo_root/build/bench/bench_chaos" bench/baseline_chaos.json)
+python3 scripts/compare_bench.py bench/baseline_chaos.json \
+  "$chaos_dir/bench/baseline_chaos.json" --tolerance 0.5
+rm -rf "$chaos_dir"
+
 echo "== sanitizers: asan+ubsan build, fast tests =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan-fast -j"$(nproc)"
+
+echo "== sanitizers: tsan build, concurrency suites =="
+# ThreadPool, the event core's lazy routing, and the chaos campaign are the
+# threaded / observer-callback-heavy surfaces; run their suites under TSan.
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)"
+./build-tsan/tests/parallel_test
+./build-tsan/tests/event_core_test
+./build-tsan/tests/chaos_test
 
 echo "== all checks passed =="

@@ -31,7 +31,8 @@ import json
 import sys
 
 IDENTITY_FIELDS = ("name", "workload", "policy", "k", "pairs", "flows",
-                   "threads", "link_kills", "links_failed")
+                   "threads", "link_kills", "links_failed",
+                   "family", "kind", "rate", "outages", "slow_links")
 INVARIANT_FIELDS = {
     "hops_agree",
     "paths_identical",
@@ -42,6 +43,24 @@ INVARIANT_FIELDS = {
     # cache_hits is deliberately absent: concurrent chunks can both miss
     # the same relative permutation, so the hit count varies with the
     # machine's core count.
+    # Chaos campaign cells (bench/baseline_chaos.json): the single-threaded
+    # event core is fully seeded, so every integer counter in the
+    # degradation surface is deterministic.  Floats (delivered_fraction,
+    # latency averages) are deliberately excluded — cross-compiler printf
+    # formatting of doubles is not part of the contract.
+    "count",
+    "delivered",
+    "dropped",
+    "timeouts",
+    "retransmissions",
+    "truncated",
+    "violations",
+    "checks",
+    "fully_repaired",
+    "exact_match",
+    "fault_free_delivered",
+    "quarantines",
+    "readmissions",
 }
 
 

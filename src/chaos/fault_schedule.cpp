@@ -1,0 +1,254 @@
+#include "chaos/fault_schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "topology/fault.hpp"
+#include "topology/fault_set.hpp"
+
+namespace scg {
+namespace {
+
+/// Distinct physical channels of `g` as (u, v) endpoint pairs, sorted (the
+/// same population sample_random_faults draws from; parallel arcs collapse,
+/// bidirectional pairs are counted once from their smaller endpoint).
+std::vector<std::pair<std::uint64_t, std::uint64_t>> channels_of(const Graph& g) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> chans;
+  chans.reserve(g.num_links());
+  for (std::uint64_t u = 0; u < g.num_nodes(); ++u) {
+    g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+      bool both = !g.directed();
+      if (g.directed()) both = g.find_arc(v, u) != g.num_links();
+      if (both && v < u) return;
+      chans.emplace_back(u, v);
+    });
+  }
+  std::sort(chans.begin(), chans.end());
+  chans.erase(std::unique(chans.begin(), chans.end()), chans.end());
+  return chans;
+}
+
+/// Uniform sample of `count` channels without replacement (partial
+/// Fisher-Yates, matching the random fault sampler's draw).
+std::vector<std::pair<std::uint64_t, std::uint64_t>> sample_channels(
+    const Graph& g, int count, std::mt19937_64& rng) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> chans = channels_of(g);
+  if (static_cast<std::size_t>(count) > chans.size()) {
+    throw std::invalid_argument(
+        "make_fault_schedule: count (" + std::to_string(count) +
+        ") exceeds the " + std::to_string(chans.size()) +
+        " distinct physical channels");
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(count); ++i) {
+    std::uniform_int_distribution<std::size_t> pick(i, chans.size() - 1);
+    std::swap(chans[i], chans[pick(rng)]);
+  }
+  chans.resize(static_cast<std::size_t>(count));
+  return chans;
+}
+
+std::vector<std::uint64_t> sample_nodes(const Graph& g, int count,
+                                        std::mt19937_64& rng) {
+  const std::uint64_t n = g.num_nodes();
+  if (static_cast<std::uint64_t>(count) >= n) {
+    throw std::invalid_argument(
+        "make_fault_schedule: crashing " + std::to_string(count) + " of " +
+        std::to_string(n) + " nodes must leave at least one alive");
+  }
+  std::vector<std::uint64_t> ids(n);
+  for (std::uint64_t u = 0; u < n; ++u) ids[u] = u;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(count); ++i) {
+    std::uniform_int_distribution<std::size_t> pick(i, ids.size() - 1);
+    std::swap(ids[i], ids[pick(rng)]);
+  }
+  ids.resize(static_cast<std::size_t>(count));
+  return ids;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPermanent: return "permanent";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kFlapping: return "flapping";
+    case FaultKind::kFailSlow: return "failslow";
+    case FaultKind::kNodeCrash: return "nodecrash";
+    case FaultKind::kRegion: return "region";
+  }
+  return "unknown";
+}
+
+FaultKind parse_fault_kind(const std::string& name) {
+  for (const FaultKind k : all_fault_kinds()) {
+    if (name == fault_kind_name(k)) return k;
+  }
+  throw std::invalid_argument(
+      "unknown fault kind '" + name +
+      "' (expected permanent|transient|flapping|failslow|nodecrash|region)");
+}
+
+std::span<const FaultKind> all_fault_kinds() {
+  static const FaultKind kinds[] = {
+      FaultKind::kPermanent, FaultKind::kTransient, FaultKind::kFlapping,
+      FaultKind::kFailSlow,  FaultKind::kNodeCrash, FaultKind::kRegion,
+  };
+  return kinds;
+}
+
+std::vector<FaultEvent> make_fault_schedule(const Graph& g,
+                                            const ChaosScriptConfig& cfg) {
+  if (cfg.count < 0) {
+    throw std::invalid_argument("make_fault_schedule: count must be >= 0");
+  }
+  if (cfg.count == 0) return {};
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<FaultEvent> script;
+  const auto onset = [&](std::size_t i) {
+    return cfg.onset_start + static_cast<std::uint64_t>(i) * cfg.onset_spacing;
+  };
+  switch (cfg.kind) {
+    case FaultKind::kPermanent: {
+      const auto chans = sample_channels(g, cfg.count, rng);
+      for (std::size_t i = 0; i < chans.size(); ++i) {
+        script.push_back(
+            FaultEvent::link_fail(onset(i), chans[i].first, chans[i].second));
+      }
+      break;
+    }
+    case FaultKind::kTransient: {
+      if (cfg.down_cycles < 1) {
+        throw std::invalid_argument(
+            "make_fault_schedule: transient down_cycles must be >= 1");
+      }
+      const auto chans = sample_channels(g, cfg.count, rng);
+      for (std::size_t i = 0; i < chans.size(); ++i) {
+        const auto [u, v] = chans[i];
+        script.push_back(FaultEvent::link_fail(onset(i), u, v));
+        script.push_back(
+            FaultEvent::link_repair(onset(i) + cfg.down_cycles, u, v));
+      }
+      break;
+    }
+    case FaultKind::kFlapping: {
+      if (cfg.flaps < 1) {
+        throw std::invalid_argument("make_fault_schedule: flaps must be >= 1");
+      }
+      if (cfg.down_cycles < 1 || cfg.up_cycles < 1) {
+        throw std::invalid_argument(
+            "make_fault_schedule: flapping duty cycle needs down_cycles >= 1 "
+            "and up_cycles >= 1");
+      }
+      const auto chans = sample_channels(g, cfg.count, rng);
+      const std::uint64_t period = cfg.down_cycles + cfg.up_cycles;
+      for (std::size_t i = 0; i < chans.size(); ++i) {
+        const auto [u, v] = chans[i];
+        for (int j = 0; j < cfg.flaps; ++j) {
+          const std::uint64_t t =
+              onset(i) + static_cast<std::uint64_t>(j) * period;
+          script.push_back(FaultEvent::link_fail(t, u, v));
+          script.push_back(FaultEvent::link_repair(t + cfg.down_cycles, u, v));
+        }
+      }
+      break;
+    }
+    case FaultKind::kFailSlow: {
+      if (cfg.slow_multiplier < 2) {
+        throw std::invalid_argument(
+            "make_fault_schedule: slow_multiplier must be >= 2 (1 is nominal "
+            "speed)");
+      }
+      const auto chans = sample_channels(g, cfg.count, rng);
+      for (std::size_t i = 0; i < chans.size(); ++i) {
+        script.push_back(FaultEvent::link_slow(
+            onset(i), chans[i].first, chans[i].second, cfg.slow_multiplier));
+      }
+      break;
+    }
+    case FaultKind::kNodeCrash: {
+      const auto nodes = sample_nodes(g, cfg.count, rng);
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        script.push_back(FaultEvent::node_fail(onset(i), nodes[i]));
+      }
+      break;
+    }
+    case FaultKind::kRegion: {
+      // Correlated: every channel of a region dies at the same instant (the
+      // sampler validates regions/radius).  Regions are staggered like any
+      // other fault, the channels within one are not.
+      const FaultSet region =
+          sample_correlated_faults(g, cfg.count, cfg.region_radius, rng);
+      std::set<std::pair<std::uint64_t, std::uint64_t>> chans;
+      for (const auto& [u, v] : region.failed_arc_pairs()) {
+        chans.insert({std::min(u, v), std::max(u, v)});
+      }
+      for (const auto& [u, v] : chans) {
+        script.push_back(FaultEvent::link_fail(onset(0), u, v));
+      }
+      break;
+    }
+  }
+  std::stable_sort(script.begin(), script.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  return script;
+}
+
+std::size_t num_physical_channels(const Graph& g) {
+  return channels_of(g).size();
+}
+
+ChaosScheduleStats schedule_stats(std::span<const FaultEvent> schedule) {
+  ChaosScheduleStats stats;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> failed_chans, slowed_chans;
+  std::set<std::uint64_t> failed_nodes;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> live_chans;
+  std::set<std::uint64_t> live_nodes;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> slow_now;
+  const auto chan = [](std::uint64_t u, std::uint64_t v) {
+    return std::make_pair(std::min(u, v), std::max(u, v));
+  };
+  for (const FaultEvent& f : schedule) {
+    stats.last_event_time = std::max(stats.last_event_time, f.time);
+    switch (f.kind) {
+      case FaultEventKind::kLinkFail:
+        failed_chans.insert(chan(f.u, f.v));
+        live_chans.insert(chan(f.u, f.v));
+        break;
+      case FaultEventKind::kLinkRepair:
+        stats.monotone = false;
+        live_chans.erase(chan(f.u, f.v));
+        break;
+      case FaultEventKind::kNodeFail:
+        failed_nodes.insert(f.u);
+        live_nodes.insert(f.u);
+        break;
+      case FaultEventKind::kNodeRepair:
+        stats.monotone = false;
+        live_nodes.erase(f.u);
+        break;
+      case FaultEventKind::kLinkSlow:
+        if (f.slow_multiplier > 1) {
+          slowed_chans.insert(chan(f.u, f.v));
+          slow_now[chan(f.u, f.v)] = f.slow_multiplier;
+        } else {
+          stats.monotone = false;  // a restore is a repair in disguise
+          slow_now.erase(chan(f.u, f.v));
+        }
+        break;
+    }
+  }
+  stats.channels_failed = failed_chans.size();
+  stats.channels_slowed = slowed_chans.size();
+  stats.nodes_failed = failed_nodes.size();
+  stats.fully_repaired =
+      live_chans.empty() && live_nodes.empty() && slow_now.empty();
+  return stats;
+}
+
+}  // namespace scg

@@ -138,8 +138,8 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
                         std::span<const SimPacket> packets,
                         std::span<const TrafficPair> pairs,
                         RoutePolicy* policy, const EventSimConfig& cfg,
-                        std::span<const LinkFault> schedule,
-                        const Rerouter* reroute) {
+                        std::span<const FaultEvent> schedule,
+                        const Rerouter* reroute, SimObserver* obs) {
   if (cfg.flits_per_packet < 1) throw std::invalid_argument("flits >= 1");
   const bool lazy = policy != nullptr;
   const bool faulty = cfg.fault_mode;
@@ -160,19 +160,54 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
     return lazy ? pairs[p].dst : packets[p].dst;
   };
 
-  // Fault schedule, sorted by kill time; faults only accumulate.
-  std::vector<LinkFault> kills(schedule.begin(), schedule.end());
-  std::sort(kills.begin(), kills.end(),
-            [](const LinkFault& a, const LinkFault& b) { return a.time < b.time; });
+  // Fault schedule, stably sorted by time so same-cycle events resolve in
+  // script order.  With repair events the accumulated FaultSet is no longer
+  // monotone; fail-slow events inflate per-arc cycle multipliers instead of
+  // touching the FaultSet at all.
+  std::vector<FaultEvent> chaos(schedule.begin(), schedule.end());
+  std::stable_sort(chaos.begin(), chaos.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+  const bool have_slow =
+      std::any_of(chaos.begin(), chaos.end(), [](const FaultEvent& f) {
+        return f.kind == FaultEventKind::kLinkSlow;
+      });
+  std::vector<std::uint32_t> slow;  // per-arc cycle multiplier (fail-slow)
+  if (have_slow) slow.assign(g.num_links(), 1);
+  const auto set_slow = [&](std::uint64_t u, std::uint64_t v,
+                            std::uint32_t mult) {
+    // Both directions of the physical channel degrade together; a missing
+    // reverse arc (one-way link) is harmless to skip.
+    for (const std::uint64_t arc : {g.find_arc(u, v), g.find_arc(v, u)}) {
+      if (arc != g.num_links()) slow[arc] = std::max<std::uint32_t>(1, mult);
+    }
+  };
   FaultSet faults;
   std::size_t next_fault = 0;
   const auto apply_faults_until = [&](std::uint64_t now) {
-    while (next_fault < kills.size() && kills[next_fault].time <= now) {
-      const LinkFault& f = kills[next_fault++];
-      // The physical channel dies: both directions (failing a nonexistent
-      // reverse arc of a one-way link is harmless — blocks() only ever sees
-      // real hops).
-      faults.fail_link(f.u, f.v);
+    while (next_fault < chaos.size() && chaos[next_fault].time <= now) {
+      const FaultEvent& f = chaos[next_fault++];
+      switch (f.kind) {
+        case FaultEventKind::kLinkFail:
+          // The physical channel dies: both directions (failing a
+          // nonexistent reverse arc of a one-way link is harmless —
+          // blocks() only ever sees real hops).
+          faults.fail_link(f.u, f.v);
+          break;
+        case FaultEventKind::kLinkRepair:
+          faults.repair_link(f.u, f.v);
+          break;
+        case FaultEventKind::kNodeFail:
+          faults.fail_node(f.u);
+          break;
+        case FaultEventKind::kNodeRepair:
+          faults.repair_node(f.u);
+          break;
+        case FaultEventKind::kLinkSlow:
+          set_slow(f.u, f.v, f.slow_multiplier);
+          break;
+      }
     }
   };
 
@@ -204,9 +239,11 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
   }
 
   const auto cycles_of = [&](std::uint64_t arc) -> std::uint64_t {
-    return static_cast<std::uint64_t>(offchip.offchip(arc)
-                                          ? cfg.offchip_cycles_per_flit
-                                          : cfg.onchip_cycles_per_flit);
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(offchip.offchip(arc)
+                                       ? cfg.offchip_cycles_per_flit
+                                       : cfg.onchip_cycles_per_flit);
+    return have_slow ? base * slow[arc] : base;
   };
 
   // Fault-mode accounting keeps the full latency/stretch samples (sorted
@@ -225,8 +262,15 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
     ++tel.events_processed;
     PacketState& ps = st[ev.packet];
     if (faulty) {
-      if (ev.time > cfg.max_cycles) {  // deadlock/livelock guard
+      if (ev.time > cfg.max_cycles) {  // deadlock/livelock watchdog
+        // Trip, don't silently stop: the packet is dropped, the result is
+        // flagged truncated, and the partial counts stay conservation-clean
+        // (asserted below) — every in-flight chain drains through here.
+        res.truncated = true;
         ++res.dropped;
+        if (obs != nullptr) {
+          obs->on_dropped(ev.time, ev.packet, DropReason::kWatchdog);
+        }
         continue;
       }
       apply_faults_until(ev.time);
@@ -243,6 +287,7 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
         latencies.push_back(ev.time - inject_of(ev.packet));
         stretches.push_back(static_cast<double>(ps.hops_walked) /
                             static_cast<double>(ps.pristine_hops));
+        if (obs != nullptr) obs->on_delivered(ev.time, ev.packet);
       } else {
         latency_sum += ev.time - inject_of(ev.packet);
       }
@@ -252,13 +297,17 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
     const std::uint64_t v = ps.path[ps.hop + 1];
     if (faulty && faults.blocks(u, v)) {
       // Dead hop: detect after the timeout, re-route from here, retransmit
-      // after exponential backoff.  Faults only accumulate, so a repaired
-      // route can only be invalidated by *newer* kills — each of which
-      // costs one more retransmit attempt from the budget.
+      // after exponential backoff.  A repaired route can be invalidated by
+      // kills landing after it was computed — each such collision costs one
+      // more retransmit attempt from the budget.
       ++res.timeouts;
       ++ps.retransmits;
+      if (obs != nullptr) obs->on_timeout(ev.time, ev.packet, u, v);
       if (ps.retransmits > cfg.max_retransmits) {
         ++res.dropped;
+        if (obs != nullptr) {
+          obs->on_dropped(ev.time, ev.packet, DropReason::kRetransmitBudget);
+        }
         continue;
       }
       std::vector<std::uint32_t> repaired =
@@ -266,6 +315,9 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
                              : std::vector<std::uint32_t>{};
       if (repaired.empty()) {
         ++res.dropped;  // destination unreachable from here
+        if (obs != nullptr) {
+          obs->on_dropped(ev.time, ev.packet, DropReason::kUnreachable);
+        }
         continue;
       }
       ++res.retransmissions;
@@ -294,7 +346,10 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
     ++res.total_hops;
     res.flit_hops += flits;
     if (offchip.offchip(arc)) ++res.offchip_hops;
-    if (faulty) ++ps.hops_walked;
+    if (faulty) {
+      ++ps.hops_walked;
+      if (obs != nullptr) obs->on_hop(ev.time, ev.packet, u, v, occ);
+    }
 
     std::uint64_t next_time;
     if (flits == 1 || ps.hop + 2 >= ps.len) {
@@ -320,6 +375,12 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
   }
 
   if (faulty) {
+    // Conservation must hold even on a truncated (watchdog-tripped) partial
+    // state: every injected packet's event chain ends in exactly one
+    // delivered or dropped increment.
+    if (res.delivered + res.dropped != res.packets) {
+      throw std::logic_error("event core: packet conservation violated");
+    }
     res.delivered_fraction =
         res.packets > 0
             ? static_cast<double>(res.delivered) / static_cast<double>(res.packets)
@@ -358,7 +419,18 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
   }
   const std::uint64_t total_ns = ns_since(t_run);
   tel.transit_ns = total_ns > tel.routing_ns ? total_ns - tel.routing_ns : 0;
+  tel.truncated = res.truncated;
   return res;
+}
+
+/// Legacy LinkFault schedules are the kLinkFail-only slice of the taxonomy.
+std::vector<FaultEvent> as_chaos(std::span<const LinkFault> schedule) {
+  std::vector<FaultEvent> chaos;
+  chaos.reserve(schedule.size());
+  for (const LinkFault& f : schedule) {
+    chaos.push_back(FaultEvent::link_fail(f.time, f.u, f.v));
+  }
+  return chaos;
 }
 
 }  // namespace
@@ -368,7 +440,8 @@ EventSimResult simulate_events(const Graph& g, const OffchipTable& offchip,
                                const EventSimConfig& cfg,
                                std::span<const LinkFault> schedule,
                                const Rerouter* reroute) {
-  return run_core(g, offchip, packets, {}, nullptr, cfg, schedule, reroute);
+  return run_core(g, offchip, packets, {}, nullptr, cfg, as_chaos(schedule),
+                  reroute, nullptr);
 }
 
 EventSimResult simulate_events(const Graph& g, const OffchipTable& offchip,
@@ -376,7 +449,30 @@ EventSimResult simulate_events(const Graph& g, const OffchipTable& offchip,
                                RoutePolicy& policy, const EventSimConfig& cfg,
                                std::span<const LinkFault> schedule,
                                const Rerouter* reroute) {
-  return run_core(g, offchip, {}, pairs, &policy, cfg, schedule, reroute);
+  return run_core(g, offchip, {}, pairs, &policy, cfg, as_chaos(schedule),
+                  reroute, nullptr);
+}
+
+EventSimResult simulate_chaos(const Graph& g, const OffchipTable& offchip,
+                              std::span<const SimPacket> packets,
+                              const EventSimConfig& cfg,
+                              std::span<const FaultEvent> schedule,
+                              const Rerouter* reroute, SimObserver* observer) {
+  EventSimConfig chaos_cfg = cfg;
+  chaos_cfg.fault_mode = true;
+  return run_core(g, offchip, packets, {}, nullptr, chaos_cfg, schedule,
+                  reroute, observer);
+}
+
+EventSimResult simulate_chaos(const Graph& g, const OffchipTable& offchip,
+                              std::span<const TrafficPair> pairs,
+                              RoutePolicy& policy, const EventSimConfig& cfg,
+                              std::span<const FaultEvent> schedule,
+                              const Rerouter* reroute, SimObserver* observer) {
+  EventSimConfig chaos_cfg = cfg;
+  chaos_cfg.fault_mode = true;
+  return run_core(g, offchip, {}, pairs, &policy, chaos_cfg, schedule, reroute,
+                  observer);
 }
 
 }  // namespace scg

@@ -60,7 +60,10 @@ struct EventSimConfig {
 
 /// Superset of the legacy SimResult / FaultSimResult / CutThroughResult
 /// fields; the wrappers project out their slices.  Percentiles, timeout and
-/// stretch fields are populated only in fault mode.
+/// stretch fields are populated only in fault mode.  `truncated` mirrors
+/// telemetry.truncated: the max_cycles watchdog tripped and every packet
+/// still in flight past the horizon was dropped — the counts are a valid
+/// partial state (conservation is asserted), not a silent stop.
 struct EventSimResult {
   std::uint64_t packets = 0;
   std::uint64_t delivered = 0;
@@ -78,6 +81,7 @@ struct EventSimResult {
   std::uint64_t retransmissions = 0;    ///< successful re-route + resend
   double avg_stretch = 0.0;  ///< hops walked / pristine path hops (delivered)
   double max_stretch = 0.0;
+  bool truncated = false;    ///< max_cycles watchdog tripped (partial result)
   SimTelemetry telemetry;
 };
 
@@ -101,6 +105,31 @@ EventSimResult simulate_events(const Graph& g, const OffchipTable& offchip,
                                RoutePolicy& policy, const EventSimConfig& cfg,
                                std::span<const LinkFault> schedule = {},
                                const Rerouter* reroute = nullptr);
+
+/// Chaos entry points: the same event loop driven by the full fault
+/// taxonomy (FaultEvent) instead of permanent link kills only.  Repairs
+/// remove entries from the accumulated FaultSet, node crashes take out
+/// every incident channel, and kLinkSlow inflates the per-flit cycle count
+/// of both directions of a channel through the same path the OffchipTable
+/// classification feeds (occupancy = flits * base_cycles * multiplier).
+/// fault_mode is forced on — a chaos schedule is meaningless without the
+/// timeout/re-route/backoff machinery.  `observer`, when non-null, receives
+/// every hop/timeout/delivery/drop synchronously (see SimObserver).
+EventSimResult simulate_chaos(const Graph& g, const OffchipTable& offchip,
+                              std::span<const SimPacket> packets,
+                              const EventSimConfig& cfg,
+                              std::span<const FaultEvent> schedule,
+                              const Rerouter* reroute = nullptr,
+                              SimObserver* observer = nullptr);
+
+/// Lazy chaos entry point (see the TrafficPair overload of simulate_events
+/// for the routing contract).
+EventSimResult simulate_chaos(const Graph& g, const OffchipTable& offchip,
+                              std::span<const TrafficPair> pairs,
+                              RoutePolicy& policy, const EventSimConfig& cfg,
+                              std::span<const FaultEvent> schedule,
+                              const Rerouter* reroute = nullptr,
+                              SimObserver* observer = nullptr);
 
 /// The canonical MCMP link classification for a Cayley network: nucleus
 /// generators are on-chip, super generators off-chip.

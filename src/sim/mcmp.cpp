@@ -74,6 +74,7 @@ FaultSimResult simulate_mcmp_faulty(
   res.total_hops = r.total_hops;
   res.offchip_hops = r.offchip_hops;
   res.max_link_busy = r.max_link_busy;
+  res.truncated = r.truncated;
   res.telemetry = r.telemetry;
   return res;
 }

@@ -91,6 +91,9 @@ struct FaultSimResult {
   std::uint64_t total_hops = 0;
   std::uint64_t offchip_hops = 0;
   double max_link_busy = 0.0;
+  /// The max_cycles watchdog tripped: in-flight packets past the horizon
+  /// were dropped and the result is a conservation-clean partial state.
+  bool truncated = false;
   SimTelemetry telemetry;               ///< event-core counters for this run
 };
 

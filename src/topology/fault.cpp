@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "topology/bfs.hpp"
 #include "topology/metrics.hpp"
@@ -230,13 +231,18 @@ FaultSet sample_random_faults(const Graph& g, int node_failures,
   if (node_failures < 0 || link_failures < 0) {
     throw std::invalid_argument("sample_random_faults: negative count");
   }
+  const std::uint64_t n = g.num_nodes();
+  if (static_cast<std::uint64_t>(node_failures) >= n && n > 0) {
+    throw std::invalid_argument(
+        "sample_random_faults: node_failures (" +
+        std::to_string(node_failures) + ") must leave at least one of " +
+        std::to_string(n) + " nodes alive");
+  }
   FaultSet faults;
   // Nodes: rejection sampling against the set built so far stays cheap while
   // the request is far below the population; switch to a partial
   // Fisher-Yates when it is not.
-  const std::uint64_t n = g.num_nodes();
-  const std::uint64_t want_nodes =
-      std::min<std::uint64_t>(static_cast<std::uint64_t>(node_failures), n);
+  const std::uint64_t want_nodes = static_cast<std::uint64_t>(node_failures);
   if (want_nodes * 2 >= n) {
     std::vector<std::uint64_t> ids(n);
     for (std::uint64_t u = 0; u < n; ++u) ids[u] = u;
@@ -255,8 +261,13 @@ FaultSet sample_random_faults(const Graph& g, int node_failures,
     // Links: enumerate the distinct physical channels once, then draw a
     // uniform sample without replacement by partial Fisher-Yates.
     std::vector<Channel> links = physical_links(g);
-    const std::size_t want_links = std::min<std::size_t>(
-        static_cast<std::size_t>(link_failures), links.size());
+    if (static_cast<std::size_t>(link_failures) > links.size()) {
+      throw std::invalid_argument(
+          "sample_random_faults: link_failures (" +
+          std::to_string(link_failures) + ") exceeds the " +
+          std::to_string(links.size()) + " distinct physical channels");
+    }
+    const std::size_t want_links = static_cast<std::size_t>(link_failures);
     for (std::size_t i = 0; i < want_links; ++i) {
       std::uniform_int_distribution<std::size_t> pick(i, links.size() - 1);
       std::swap(links[i], links[pick(rng)]);
@@ -265,6 +276,38 @@ FaultSet sample_random_faults(const Graph& g, int node_failures,
       } else {
         faults.fail_arc(links[i].u, links[i].v);
       }
+    }
+  }
+  return faults;
+}
+
+FaultSet sample_correlated_faults(const Graph& g, int regions, int radius,
+                                  std::mt19937_64& rng) {
+  const std::uint64_t n = g.num_nodes();
+  if (regions < 1 || static_cast<std::uint64_t>(regions) > n) {
+    throw std::invalid_argument("sample_correlated_faults: regions must be in [1, num_nodes]");
+  }
+  if (radius < 1) {
+    throw std::invalid_argument("sample_correlated_faults: radius must be >= 1");
+  }
+  // Distinct centers without replacement (rejection sampling: region counts
+  // are tiny next to the node population in every campaign).
+  std::unordered_set<std::uint64_t> centers;
+  std::uniform_int_distribution<std::uint64_t> pick(0, n - 1);
+  while (centers.size() < static_cast<std::size_t>(regions)) {
+    centers.insert(pick(rng));
+  }
+  FaultSet faults;
+  for (const std::uint64_t center : centers) {
+    const std::vector<std::uint16_t> dist = bfs_distances(g, center);
+    const auto in_ball = [&](std::uint64_t u) {
+      return dist[u] != kUnreached && dist[u] <= static_cast<std::uint32_t>(radius);
+    };
+    for (std::uint64_t u = 0; u < n; ++u) {
+      if (!in_ball(u)) continue;
+      g.for_each_neighbor(u, [&](std::uint64_t v, std::int32_t) {
+        if (in_ball(v)) faults.fail_link(u, v);
+      });
     }
   }
   return faults;

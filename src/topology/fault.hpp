@@ -63,10 +63,23 @@ std::uint64_t vertex_connectivity(const Graph& g);
 /// link is equally likely regardless of endpoint degrees).  A sampled link
 /// whose reverse arc exists — always for undirected graphs, and for
 /// materialize()d undirected networks stored as symmetric directed arcs —
-/// fails in both directions; a one-way arc fails alone.  Requests exceeding
-/// the population fail everything.
+/// fails in both directions; a one-way arc fails alone.  Throws
+/// std::invalid_argument for negative counts, node_failures >= num_nodes
+/// (at least one node must survive) and link_failures exceeding the number
+/// of distinct physical channels — an over-request is a scripting bug, not
+/// a "fail everything" ask.
 FaultSet sample_random_faults(const Graph& g, int node_failures,
                               int link_failures, std::mt19937_64& rng);
+
+/// Correlated "region" failures: picks `regions` distinct random centers
+/// and, for each, fails every physical channel joining two nodes within BFS
+/// distance `radius` of the center (the paper's fault model assumes
+/// independent failures; real fabrics lose a switch tray or a rack at a
+/// time, which this models as a radius-ball outage).  Regions may overlap;
+/// the union of their channels fails.  Throws std::invalid_argument for
+/// regions < 1, regions > num_nodes or radius < 1.
+FaultSet sample_correlated_faults(const Graph& g, int regions, int radius,
+                                  std::mt19937_64& rng);
 
 /// Monte-Carlo fault experiment: fail `link_failures` random links (and
 /// `node_failures` random nodes) `trials` times, each drawn without

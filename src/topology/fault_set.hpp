@@ -39,6 +39,22 @@ class FaultSet {
   /// Directed arc failure: blocks only u->v.
   void fail_arc(std::uint64_t u, std::uint64_t v) { arcs_.insert(key(u, v)); }
 
+  /// Repairs — faults are no longer monotone once a chaos schedule carries
+  /// repair events.  Repairing something that never failed is a no-op.
+  void repair_node(std::uint64_t u) { nodes_.erase(u); }
+  void repair_link(std::uint64_t u, std::uint64_t v) {
+    arcs_.erase(key(u, v));
+    arcs_.erase(key(v, u));
+  }
+  void repair_arc(std::uint64_t u, std::uint64_t v) { arcs_.erase(key(u, v)); }
+
+  /// Unions another fault set into this one (advisory quarantines merge
+  /// with ground-truth faults this way).
+  void merge(const FaultSet& other) {
+    nodes_.insert(other.nodes_.begin(), other.nodes_.end());
+    arcs_.insert(other.arcs_.begin(), other.arcs_.end());
+  }
+
   bool node_failed(std::uint64_t u) const { return nodes_.count(u) != 0; }
   bool arc_failed(std::uint64_t u, std::uint64_t v) const {
     return arcs_.count(key(u, v)) != 0;
@@ -63,6 +79,12 @@ class FaultSet {
 
   const std::unordered_set<std::uint64_t>& failed_nodes() const {
     return nodes_;
+  }
+
+  /// Every failed directed arc as (from, to) pairs (an undirected link
+  /// failure appears twice).  Unordered.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> failed_arc_pairs() const {
+    return {arcs_.begin(), arcs_.end()};
   }
 
   /// Convenience constructor matching the legacy with_faults() signature.

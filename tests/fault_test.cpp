@@ -152,13 +152,31 @@ TEST(SampleRandomFaults, DrawsWithoutReplacement) {
     EXPECT_EQ(f.num_failed_arcs(), 12u);  // 6 links, both directions
     EXPECT_FALSE(connected_after_faults(g, f));
   }
-  // Node draws are distinct too: requesting every node kills every node.
-  const FaultSet all = sample_random_faults(g, 6, 0, rng);
-  EXPECT_EQ(all.num_failed_nodes(), 6u);
-  // Over-requests cap at the population instead of looping forever.
-  const FaultSet over = sample_random_faults(g, 10, 10, rng);
-  EXPECT_EQ(over.num_failed_nodes(), 6u);
-  EXPECT_EQ(over.num_failed_arcs(), 12u);
+  // Node draws are distinct too: the largest legal request (one survivor)
+  // kills exactly that many distinct nodes.
+  const FaultSet most = sample_random_faults(g, 5, 0, rng);
+  EXPECT_EQ(most.num_failed_nodes(), 5u);
+  // Over-requests are scripting bugs and must be rejected loudly instead of
+  // silently clamping: all 6 nodes, or more links than physical channels.
+  EXPECT_THROW(sample_random_faults(g, 6, 0, rng), std::invalid_argument);
+  EXPECT_THROW(sample_random_faults(g, 0, 7, rng), std::invalid_argument);
+  EXPECT_THROW(sample_random_faults(g, -1, 0, rng), std::invalid_argument);
+}
+
+TEST(SampleCorrelatedFaults, RadiusBallChannelsFail) {
+  // ring(8), one region of radius 2: the ball holds 5 consecutive nodes and
+  // exactly the 4 channels joining them die — the ball's interior is cut
+  // off from the survivors (that is what a correlated outage does).
+  const Graph g = make_ring(8);
+  std::mt19937_64 rng(11);
+  const FaultSet f = sample_correlated_faults(g, 1, 2, rng);
+  EXPECT_EQ(f.num_failed_arcs(), 8u);  // 4 channels, both directions
+  EXPECT_FALSE(connected_after_faults(g, f));  // interior nodes isolated
+  // Radius spanning the whole ring kills every channel.
+  const FaultSet all = sample_correlated_faults(g, 1, 4, rng);
+  EXPECT_EQ(all.num_failed_arcs(), 16u);
+  EXPECT_THROW(sample_correlated_faults(g, 0, 1, rng), std::invalid_argument);
+  EXPECT_THROW(sample_correlated_faults(g, 1, 0, rng), std::invalid_argument);
 }
 
 TEST(SampleRandomFaults, ExactCountsBelowThreshold) {
