@@ -22,6 +22,15 @@
 //                                                 curves ("fault" reroutes,
 //                                                 "adaptive" also quarantines
 //                                                 sick links)
+//   scg_cli serve-bench <family> <l> <n> [workers] [requests] [qps] [seed]
+//                                                 drive the concurrent
+//                                                 RouteService with random
+//                                                 traffic (qps=0: closed
+//                                                 loop; qps>0: open-loop
+//                                                 Poisson arrivals), print
+//                                                 the SLO snapshot, and
+//                                                 verify sampled words
+//                                                 against the scalar router
 //   scg_cli policies                              list registered route policies
 //
 // <family> ∈ {MS, RS, cRS, MR, RR, cRR, IS, MIS, RIS, cRIS, star, rotator,
@@ -43,6 +52,8 @@
 #include "networks/route_policy.hpp"
 #include "networks/router.hpp"
 #include "oracle/oracle.hpp"
+#include "serve/batcher.hpp"
+#include "serve/loadgen.hpp"
 #include "sim/event_core.hpp"
 #include "sim/workloads.hpp"
 #include "topology/io.hpp"
@@ -258,13 +269,75 @@ int cmd_chaos(const scg::NetworkSpec& net, const std::string& policy_name,
   return r.total_violations == 0 ? 0 : 1;
 }
 
+int cmd_serve_bench(const scg::NetworkSpec& net, int workers,
+                    std::uint64_t requests, double qps, std::uint64_t seed) {
+  scg::RouteServiceConfig cfg;
+  cfg.workers = workers;
+  scg::RouteService svc(net, cfg);
+
+  const int per_node = std::max<int>(
+      1, static_cast<int>(requests / net.num_nodes()));
+  const auto pairs =
+      scg::random_traffic_pairs(net.num_nodes(), per_node, seed);
+
+  scg::LoadGenConfig lg;
+  if (qps > 0) {
+    lg.mode = scg::LoadGenConfig::Mode::kOpen;
+    lg.offered_qps = qps;
+  } else {
+    lg.mode = scg::LoadGenConfig::Mode::kClosed;
+    lg.concurrency = 2 * workers;
+  }
+  lg.seed = seed;
+  const scg::LoadGenReport rep = run_loadgen(svc, pairs, lg);
+  const scg::ServiceStatsSnapshot snap = svc.snapshot();
+
+  std::printf("%s: %zu requests, %d workers, %s\n", net.name.c_str(),
+              pairs.size(), svc.workers(),
+              qps > 0 ? "open loop (Poisson)" : "closed loop");
+  std::printf("throughput=%.0f req/s  ok=%llu shed=%llu closed=%llu\n",
+              rep.achieved_qps, static_cast<unsigned long long>(rep.ok),
+              static_cast<unsigned long long>(rep.shed()),
+              static_cast<unsigned long long>(rep.closed));
+  std::printf("client latency (us): p50=%.1f p99=%.1f p999=%.1f max=%.1f\n",
+              static_cast<double>(rep.latency.p50) / 1e3,
+              static_cast<double>(rep.latency.p99) / 1e3,
+              static_cast<double>(rep.latency.p999) / 1e3,
+              static_cast<double>(rep.latency.max) / 1e3);
+  std::printf("snapshot: %s\n", snap.json().c_str());
+
+  // Invariant 1: no silent loss, client- and service-side.
+  const bool service_conserved =
+      snap.offered == snap.completed_ok + snap.shed_load + snap.shed_rate +
+                          snap.rejected_closed + snap.in_flight;
+  if (!rep.conserved() || !service_conserved) {
+    std::fprintf(stderr, "serve-bench: CONSERVATION VIOLATION\n");
+    return 1;
+  }
+  // Invariant 2: sampled responses are byte-identical to the scalar router.
+  const std::size_t stride = std::max<std::size_t>(1, pairs.size() / 64);
+  for (std::size_t i = 0; i < pairs.size(); i += stride) {
+    const scg::RouteReply reply = svc.route(pairs[i].src, pairs[i].dst);
+    const auto want =
+        scg::route(net, scg::Permutation::unrank(net.k(), pairs[i].src),
+                   scg::Permutation::unrank(net.k(), pairs[i].dst));
+    if (reply.status != scg::ServeStatus::kOk || reply.word != want) {
+      std::fprintf(stderr, "serve-bench: WORD MISMATCH at pair %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("verified: conservation ok, sampled words match scalar "
+              "route()\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: scg_cli info|route|trace|dot|histogram|sim|chaos|"
-                 "families|policies ...\n");
+                 "serve-bench|families|policies ...\n");
     return 2;
   }
   scg::register_oracle_policy();    // make "oracle" selectable by name
@@ -328,6 +401,15 @@ int main(int argc, char** argv) {
     const std::uint64_t seed =
         argc > 7 ? std::strtoull(argv[7], nullptr, 10) : 7;
     return cmd_chaos(net, policy, per_node, seed);
+  }
+  if (cmd == "serve-bench") {
+    const int workers = argc > 5 ? std::atoi(argv[5]) : 2;
+    const std::uint64_t requests =
+        argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 10000;
+    const double qps = argc > 7 ? std::atof(argv[7]) : 0;
+    const std::uint64_t seed =
+        argc > 8 ? std::strtoull(argv[8], nullptr, 10) : 7;
+    return cmd_serve_bench(net, workers, requests, qps, seed);
   }
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;

@@ -58,18 +58,35 @@ python3 scripts/compare_bench.py bench/baseline_chaos.json \
   "$chaos_dir/bench/baseline_chaos.json" --tolerance 0.5
 rm -rf "$chaos_dir"
 
+echo "== serve smoke: concurrent RouteService, verified words =="
+# Small family, 2 workers; serve-bench exits non-zero on a conservation or
+# word-identity violation.
+./build/examples/scg_cli serve-bench MS 2 2 2 500
+
+echo "== serving bench: SLO telemetry + shedding gate =="
+# Same scratch-dir pattern as the other gates: conservation / words_ok /
+# shed_nonzero must hold exactly, serve_rps only loosely (machine speed).
+serve_dir="$(mktemp -d /tmp/scg-serve.XXXXXX)"
+mkdir -p "$serve_dir/bench"
+(cd "$serve_dir" && "$repo_root/build/bench/bench_serve")
+python3 scripts/compare_bench.py bench/baseline_serve.json \
+  "$serve_dir/bench/baseline_serve.json" --tolerance 0.5
+rm -rf "$serve_dir"
+
 echo "== sanitizers: asan+ubsan build, fast tests =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan-fast -j"$(nproc)"
 
 echo "== sanitizers: tsan build, concurrency suites =="
-# ThreadPool, the event core's lazy routing, and the chaos campaign are the
-# threaded / observer-callback-heavy surfaces; run their suites under TSan.
+# ThreadPool, the event core's lazy routing, the chaos campaign, and the
+# serving layer are the threaded / observer-callback-heavy surfaces; run
+# their suites under TSan.
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)"
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/event_core_test
 ./build-tsan/tests/chaos_test
+./build-tsan/tests/serve_test
 
 echo "== all checks passed =="

@@ -32,7 +32,10 @@ import sys
 
 IDENTITY_FIELDS = ("name", "workload", "policy", "k", "pairs", "flows",
                    "threads", "link_kills", "links_failed",
-                   "family", "kind", "rate", "outages", "slow_links")
+                   "family", "kind", "rate", "outages", "slow_links",
+                   # Serving cells (bench/baseline_serve.json).
+                   "workers", "mode", "linger_us", "offered", "concurrency",
+                   "qps", "rate_limit")
 INVARIANT_FIELDS = {
     "hops_agree",
     "paths_identical",
@@ -61,6 +64,13 @@ INVARIANT_FIELDS = {
     "fault_free_delivered",
     "quarantines",
     "readmissions",
+    # Serving invariants: offered == delivered + shed (conservation),
+    # sampled words byte-equal to scalar route() (words_ok), and the
+    # overload cell really shed (shed_nonzero).  All three are pass/fail
+    # flags computed by bench_serve itself, independent of machine speed.
+    "conservation",
+    "words_ok",
+    "shed_nonzero",
 }
 
 
@@ -113,10 +123,24 @@ def main():
                              "(default %(default)s)")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    with open(args.fresh) as f:
-        fresh = json.load(f)
+    # A missing file means the gate never ran — fail loudly instead of
+    # tracebacking (or worse, "passing" an empty comparison).
+    for label, path in (("baseline", args.baseline), ("fresh", args.fresh)):
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except FileNotFoundError:
+            print(f"compare_bench: {label} file '{path}' does not exist; "
+                  f"regenerate it (run the bench binary) before gating")
+            return 1
+        except json.JSONDecodeError as e:
+            print(f"compare_bench: {label} file '{path}' is not valid "
+                  f"JSON: {e}")
+            return 1
+        if label == "baseline":
+            baseline = data
+        else:
+            fresh = data
 
     failures = compare(baseline, fresh, args.tolerance)
     if failures:

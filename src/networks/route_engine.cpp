@@ -396,6 +396,12 @@ RouteEngine::RouteEngine(const NetworkSpec& net, RouteEngineConfig cfg)
 
 RouteEngine::~RouteEngine() = default;
 
+std::size_t RouteEngine::cache_shard_of(std::uint64_t rel_rank) const {
+  return shards_ ? static_cast<std::size_t>(shard_for(rel_rank) -
+                                            shards_.get())
+                 : 0;
+}
+
 RouteEngine::CacheShard* RouteEngine::shard_for(std::uint64_t key) const {
   const std::uint64_t h = key * 0x9e3779b97f4a7c15ULL;
   return &shards_[(h >> 32) & shard_mask_];

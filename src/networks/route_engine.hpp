@@ -220,6 +220,15 @@ class RouteEngine {
   RouteCacheStats cache_stats() const;
   void clear_cache();
 
+  /// Number of lock shards in the route cache (0 when caching is off).
+  std::size_t cache_shard_count() const { return shards_ ? shard_mask_ + 1 : 0; }
+
+  /// The shard that holds relative-permutation key `rel_rank` (0 with the
+  /// cache off).  The serving layer pins each worker to a disjoint shard
+  /// group so translation-equivalent requests coalesce on an uncontended
+  /// shard.
+  std::size_t cache_shard_of(std::uint64_t rel_rank) const;
+
  private:
   struct CacheShard;
 

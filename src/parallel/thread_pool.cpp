@@ -33,6 +33,22 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+bool ThreadPool::try_submit(std::function<void()> task) {
+  {
+    std::unique_lock lk(mu_, std::try_to_lock);
+    if (!lk.owns_lock() || stopping_) return false;
+    tasks_.push(Task{std::move(task), nullptr, 0});
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lk(mu_);
+  return tasks_.size();
+}
+
 void ThreadPool::submit_batch(std::size_t count,
                               std::function<void(std::size_t)> task) {
   if (count == 0) return;

@@ -35,6 +35,18 @@ class ThreadPool {
   /// Enqueues a task.  Tasks must not throw.
   void submit(std::function<void()> task);
 
+  /// Non-blocking submit: enqueues `task` unless the queue lock is
+  /// contended or the pool is shutting down.  Returns whether the task was
+  /// accepted (false means the caller still owns the work — nothing was
+  /// enqueued).  Lets latency-sensitive producers shed to an inline
+  /// fallback instead of stalling behind a long submit_batch.
+  bool try_submit(std::function<void()> task);
+
+  /// Tasks currently queued (excluding ones already running).  A sampled
+  /// gauge for backpressure decisions, not a synchronisation primitive —
+  /// the value can be stale by the time the caller reads it.
+  std::size_t queue_depth() const;
+
   /// Enqueues `count` tasks sharing ONE callable, invoked as task(i) for
   /// each i in [0, count): one lock acquisition, one type-erasure
   /// allocation and one wakeup for the whole batch, vs one of each per
@@ -63,7 +75,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<Task> tasks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_task_;   // signalled when a task is available
   std::condition_variable cv_idle_;   // signalled when the pool drains
   std::size_t in_flight_ = 0;         // queued + running tasks

@@ -1,0 +1,45 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace scg {
+
+AdmissionController::AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {
+  if (cfg_.rate_limit_qps > 0 && cfg_.burst <= 0) {
+    cfg_.burst = std::max(1.0, cfg_.rate_limit_qps / 100.0);
+  }
+  if (cfg_.high_water > 0 && cfg_.low_water == 0) {
+    cfg_.low_water = cfg_.high_water / 2;
+  }
+  tokens_ = cfg_.burst;  // start full: an initial burst is admitted
+}
+
+Admission AdmissionController::admit(std::size_t queue_depth,
+                                     std::uint64_t now_ns) {
+  if (cfg_.high_water > 0) {
+    // Hysteresis gate.  Two racing requests can both flip the gate; that is
+    // fine — the transition points, not the flip count, define behaviour.
+    if (queue_depth >= cfg_.high_water) {
+      shedding_.store(true, std::memory_order_relaxed);
+    } else if (queue_depth <= cfg_.low_water) {
+      shedding_.store(false, std::memory_order_relaxed);
+    }
+    if (shedding_.load(std::memory_order_relaxed)) return Admission::kShedLoad;
+  }
+  if (cfg_.rate_limit_qps > 0) {
+    std::lock_guard lk(mu_);
+    if (last_refill_ns_ == 0) last_refill_ns_ = now_ns;
+    if (now_ns > last_refill_ns_) {
+      tokens_ = std::min(
+          cfg_.burst,
+          tokens_ + static_cast<double>(now_ns - last_refill_ns_) * 1e-9 *
+                        cfg_.rate_limit_qps);
+      last_refill_ns_ = now_ns;
+    }
+    if (tokens_ < 1.0) return Admission::kShedRate;
+    tokens_ -= 1.0;
+  }
+  return Admission::kAdmit;
+}
+
+}  // namespace scg

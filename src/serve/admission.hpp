@@ -1,0 +1,58 @@
+// Admission control for the RouteService: token-bucket rate limiting plus
+// queue-depth load shedding with hysteresis.
+//
+// Both mechanisms return an explicit verdict — a rejected request is
+// completed with ServeStatus::kShedRate / kShedLoad, never dropped — so
+// offered == delivered + shed holds exactly under any overload.
+//
+// Hysteresis: shedding starts when the aggregate queue depth reaches
+// `high_water` and does not stop until it falls back to `low_water`
+// (default high/2).  Without the gap, a service hovering at the threshold
+// would flap between admit and shed on every request; with it, a burst
+// sheds until the backlog has genuinely cleared.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace scg {
+
+struct AdmissionConfig {
+  /// Sustained admit rate in requests/second; 0 disables rate limiting.
+  double rate_limit_qps = 0;
+  /// Token-bucket size (max burst admitted at once).  0 picks
+  /// max(1, rate_limit_qps / 100) — a 10 ms burst allowance.
+  double burst = 0;
+  /// Queue depth at which load shedding starts; 0 disables depth shedding.
+  std::size_t high_water = 0;
+  /// Depth at which shedding stops again.  0 picks high_water / 2.
+  std::size_t low_water = 0;
+};
+
+enum class Admission : std::uint8_t { kAdmit, kShedRate, kShedLoad };
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg);
+
+  /// Verdict for one request arriving at `now_ns` with `queue_depth`
+  /// requests already outstanding.  Thread-safe.
+  Admission admit(std::size_t queue_depth, std::uint64_t now_ns);
+
+  /// Whether the overload gate is currently closed.
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+
+  const AdmissionConfig& config() const { return cfg_; }
+
+ private:
+  AdmissionConfig cfg_;
+  std::atomic<bool> shedding_{false};
+
+  std::mutex mu_;                    ///< guards the token bucket
+  double tokens_ = 0;
+  std::uint64_t last_refill_ns_ = 0;
+};
+
+}  // namespace scg

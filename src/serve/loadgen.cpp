@@ -1,0 +1,126 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <random>
+#include <thread>
+
+namespace scg {
+namespace {
+
+struct ClientTally {
+  std::uint64_t ok = 0;
+  std::uint64_t shed_load = 0;
+  std::uint64_t shed_rate = 0;
+  std::uint64_t closed = 0;
+  std::vector<std::uint64_t> latencies_ns;
+
+  void count(const RouteReply& reply, std::uint64_t latency_ns) {
+    switch (reply.status) {
+      case ServeStatus::kOk:
+        ++ok;
+        latencies_ns.push_back(latency_ns);
+        break;
+      case ServeStatus::kShedLoad:
+        ++shed_load;
+        break;
+      case ServeStatus::kShedRate:
+        ++shed_rate;
+        break;
+      case ServeStatus::kClosed:
+        ++closed;
+        break;
+    }
+  }
+};
+
+LoadGenReport merge(std::vector<ClientTally>& tallies, std::size_t offered,
+                    double duration_s) {
+  LoadGenReport rep;
+  rep.offered = offered;
+  rep.duration_s = duration_s;
+  std::vector<std::uint64_t> all;
+  for (ClientTally& t : tallies) {
+    rep.ok += t.ok;
+    rep.shed_load += t.shed_load;
+    rep.shed_rate += t.shed_rate;
+    rep.closed += t.closed;
+    all.insert(all.end(), t.latencies_ns.begin(), t.latencies_ns.end());
+  }
+  rep.achieved_qps =
+      duration_s > 0 ? static_cast<double>(rep.ok) / duration_s : 0;
+  rep.latency = summarize_latencies(all);
+  return rep;
+}
+
+LoadGenReport run_closed(RouteService& service,
+                         std::span<const TrafficPair> pairs,
+                         const LoadGenConfig& cfg) {
+  const int threads = std::max(1, cfg.concurrency);
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(threads));
+  const std::uint64_t t0 = serve_now_ns();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(threads));
+    for (int c = 0; c < threads; ++c) {
+      clients.emplace_back([&, c] {
+        ClientTally& tally = tallies[static_cast<std::size_t>(c)];
+        // Strided slice: client c serves pairs c, c+threads, c+2*threads...
+        for (std::size_t i = static_cast<std::size_t>(c); i < pairs.size();
+             i += static_cast<std::size_t>(threads)) {
+          const std::uint64_t t_req = serve_now_ns();
+          const RouteReply reply =
+              service.route(pairs[i].src, pairs[i].dst);
+          tally.count(reply, serve_now_ns() - t_req);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double duration_s =
+      static_cast<double>(serve_now_ns() - t0) * 1e-9;
+  return merge(tallies, pairs.size(), duration_s);
+}
+
+LoadGenReport run_open(RouteService& service,
+                       std::span<const TrafficPair> pairs,
+                       const LoadGenConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  std::exponential_distribution<double> gap_s(std::max(1.0, cfg.offered_qps));
+  std::vector<std::future<RouteReply>> futures;
+  futures.reserve(pairs.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t t0 = serve_now_ns();
+  double arrival_s = 0;
+  for (const TrafficPair& p : pairs) {
+    arrival_s += gap_s(rng);
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(arrival_s)));
+    // Non-blocking: an open-loop client must not slow down for a full
+    // queue; the refusal comes back as an explicit shed reply.
+    futures.push_back(service.try_submit(p.src, p.dst));
+  }
+
+  std::vector<ClientTally> tallies(1);
+  for (std::future<RouteReply>& f : futures) {
+    const RouteReply reply = f.get();
+    tallies[0].count(reply, reply.t.complete_ns - reply.t.submit_ns);
+  }
+  const double duration_s = static_cast<double>(serve_now_ns() - t0) * 1e-9;
+  return merge(tallies, pairs.size(), duration_s);
+}
+
+}  // namespace
+
+LoadGenReport run_loadgen(RouteService& service,
+                          std::span<const TrafficPair> pairs,
+                          const LoadGenConfig& cfg) {
+  return cfg.mode == LoadGenConfig::Mode::kClosed
+             ? run_closed(service, pairs, cfg)
+             : run_open(service, pairs, cfg);
+}
+
+}  // namespace scg

@@ -1,0 +1,66 @@
+// Closed-loop / open-loop load generator for the RouteService.
+//
+// Endpoints come from the sim layer's TrafficPair generators
+// (sim/workloads.hpp — total exchange, uniform random), so serving
+// workloads are the very traffic matrices the simulators already model.
+//
+// Two driving modes, because they answer different questions:
+//  * Closed loop (`concurrency` synchronous clients): throughput under
+//    bounded outstanding work — the thread-scaling curve.  Offered load
+//    adapts to service speed, so the system is never overdriven.
+//  * Open loop (Poisson arrivals at `offered_qps`): latency under a load
+//    the clients do NOT slow down for — the honest way to probe overload
+//    and shedding, since closed-loop generators coordinate-omit exactly
+//    the congestion they cause.
+//
+// The report accounts for every request exactly once:
+// offered == ok + shed_load + shed_rate + closed.  Client-observed
+// latencies are digested with sim/stats.hpp (exact samples, not histogram
+// buckets).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "sim/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace scg {
+
+struct LoadGenConfig {
+  enum class Mode : std::uint8_t { kClosed, kOpen };
+  Mode mode = Mode::kClosed;
+  /// Closed loop: number of synchronous client threads.
+  int concurrency = 8;
+  /// Open loop: mean Poisson arrival rate, requests/second.
+  double offered_qps = 50'000;
+  /// Seed for the arrival process (open loop).
+  std::uint64_t seed = 7;
+};
+
+struct LoadGenReport {
+  std::uint64_t offered = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed_load = 0;
+  std::uint64_t shed_rate = 0;
+  std::uint64_t closed = 0;
+  double duration_s = 0;
+  double achieved_qps = 0;  ///< ok / duration
+  /// Client-observed round-trip latency of Ok replies, nanoseconds.
+  LatencySummary latency;
+
+  std::uint64_t shed() const { return shed_load + shed_rate; }
+  /// The no-silent-loss invariant.
+  bool conserved() const { return offered == ok + shed() + closed; }
+};
+
+/// Drives `pairs` through the service and reports.  Closed loop splits the
+/// pair list across `concurrency` threads; open loop submits them from one
+/// dispatcher at Poisson arrival times and harvests the futures.
+LoadGenReport run_loadgen(RouteService& service,
+                          std::span<const TrafficPair> pairs,
+                          const LoadGenConfig& cfg);
+
+}  // namespace scg

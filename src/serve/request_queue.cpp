@@ -1,0 +1,119 @@
+#include "serve/request_queue.hpp"
+
+#include <utility>
+
+#include "serve/service_stats.hpp"
+
+namespace scg {
+
+const char* serve_status_name(ServeStatus s) {
+  switch (s) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kShedLoad:
+      return "shed-load";
+    case ServeStatus::kShedRate:
+      return "shed-rate";
+    case ServeStatus::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool RequestQueue::try_push(ServeRequest&& r) {
+  {
+    std::lock_guard lk(mu_);
+    if (closed_ || q_.size() >= capacity_) {
+      if (!closed_) ++rejected_full_;
+      return false;
+    }
+    q_.push_back(std::move(r));
+    ++enqueued_;
+    high_water_ = std::max<std::uint64_t>(high_water_, q_.size());
+  }
+  cv_data_.notify_one();
+  return true;
+}
+
+bool RequestQueue::push(ServeRequest&& r) {
+  {
+    std::unique_lock lk(mu_);
+    if (q_.size() >= capacity_ && !closed_) {
+      const std::uint64_t t0 = serve_now_ns();
+      cv_space_.wait(lk, [this] { return closed_ || q_.size() < capacity_; });
+      blocked_ns_ += serve_now_ns() - t0;
+    }
+    if (closed_) return false;
+    q_.push_back(std::move(r));
+    ++enqueued_;
+    high_water_ = std::max<std::uint64_t>(high_water_, q_.size());
+  }
+  cv_data_.notify_one();
+  return true;
+}
+
+std::size_t RequestQueue::pop_batch(std::vector<ServeRequest>& out,
+                                    std::size_t max,
+                                    std::chrono::microseconds linger) {
+  out.clear();
+  if (max == 0) max = 1;
+  std::unique_lock lk(mu_);
+  cv_data_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  if (q_.empty()) return 0;  // closed and drained
+
+  // Batch opens with the first request; top it up until full or the linger
+  // deadline passes.  A zero linger drains whatever is already queued and
+  // returns immediately.
+  const auto deadline = std::chrono::steady_clock::now() + linger;
+  for (;;) {
+    while (!q_.empty() && out.size() < max) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    if (out.size() >= max || closed_) break;
+    if (linger.count() <= 0) break;
+    if (!cv_data_.wait_until(lk, deadline,
+                             [this] { return closed_ || !q_.empty(); })) {
+      break;  // linger expired
+    }
+    if (q_.empty()) break;  // woken by close
+  }
+  lk.unlock();
+  cv_space_.notify_all();
+  return out.size();
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+  }
+  cv_data_.notify_all();
+  cv_space_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard lk(mu_);
+  return q_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lk(mu_);
+  return closed_;
+}
+
+RequestQueueStats RequestQueue::stats() const {
+  std::lock_guard lk(mu_);
+  RequestQueueStats s;
+  s.enqueued = enqueued_;
+  s.rejected_full = rejected_full_;
+  s.high_water = high_water_;
+  s.blocked_ns = blocked_ns_;
+  s.depth = q_.size();
+  return s;
+}
+
+}  // namespace scg

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/generator.hpp"
+#include "sim/stats.hpp"
 
 namespace scg {
 
@@ -391,9 +392,9 @@ EventSimResult run_core(const Graph& g, const OffchipTable& offchip,
       for (const std::uint64_t l : latencies) sum += l;
       res.avg_latency =
           static_cast<double>(sum) / static_cast<double>(latencies.size());
-      res.p50_latency = latencies[latencies.size() / 2];
-      res.p99_latency = latencies[std::min(latencies.size() - 1,
-                                           (latencies.size() * 99) / 100)];
+      const std::span<const std::uint64_t> sorted(latencies);
+      res.p50_latency = sorted_percentile(sorted, 50);
+      res.p99_latency = sorted_percentile(sorted, 99);
       double ssum = 0;
       for (const double s : stretches) {
         ssum += s;

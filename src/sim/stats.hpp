@@ -1,0 +1,72 @@
+// Shared latency-sample statistics: one percentile convention for the whole
+// repo.
+//
+// The event core, the chaos campaign reports and several bench mains all
+// grew their own copy of "sort the samples, index at floor(n*q/100)"; the
+// serving layer (src/serve/service_stats.*) needs the same rank arithmetic
+// against histogram buckets.  This header is the single home for that
+// convention so every p50/p99 printed anywhere in the repo means exactly
+// the same thing:
+//
+//   rank(q)  = min(n - 1, floor(n * q_num / q_den))
+//   pXX      = sorted[rank(XX)]
+//
+// (floor(n*50/100) == n/2, so the historical event-core values are
+// preserved bit-for-bit and the committed baselines stay valid.)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace scg {
+
+/// The sample index holding the q-th percentile of n ascending-sorted
+/// samples (q = q_num/q_den, e.g. 99/100 or 999/1000).  Clamped to n-1;
+/// n must be > 0.
+inline std::size_t percentile_rank(std::size_t n, std::uint64_t q_num,
+                                   std::uint64_t q_den = 100) {
+  const std::uint64_t r =
+      static_cast<std::uint64_t>(n) * q_num / (q_den == 0 ? 1 : q_den);
+  return static_cast<std::size_t>(std::min<std::uint64_t>(n - 1, r));
+}
+
+/// The q-th percentile of an ascending-sorted sample span (empty -> T{}).
+template <typename T>
+T sorted_percentile(std::span<const T> sorted, std::uint64_t q_num,
+                    std::uint64_t q_den = 100) {
+  if (sorted.empty()) return T{};
+  return sorted[percentile_rank(sorted.size(), q_num, q_den)];
+}
+
+/// One-line latency digest of a sample set.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
+  std::uint64_t max = 0;
+};
+
+/// Sorts `samples` in place and digests it.  Empty input -> all zeros.
+inline LatencySummary summarize_latencies(std::vector<std::uint64_t>& samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  const std::span<const std::uint64_t> v(samples);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t x : v) sum += x;
+  s.count = v.size();
+  s.mean = static_cast<double>(sum) / static_cast<double>(v.size());
+  s.p50 = sorted_percentile(v, 50);
+  s.p95 = sorted_percentile(v, 95);
+  s.p99 = sorted_percentile(v, 99);
+  s.p999 = sorted_percentile(v, 999, 1000);
+  s.max = v.back();
+  return s;
+}
+
+}  // namespace scg

@@ -3,8 +3,11 @@
 // and the word-bound contract.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <iterator>
 #include <random>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "analysis/oracle_audit.hpp"
@@ -313,6 +316,59 @@ TEST(RouteEngine, AuditStretchMatchesDirectRecomputation) {
   EXPECT_EQ(audit.optimal, optimal);
   EXPECT_DOUBLE_EQ(audit.avg_stretch,
                    stretch_sum / static_cast<double>(sources));
+}
+
+TEST(RouteEngine, CacheStatsConsistentUnderConcurrentMixedBatches) {
+  // Four threads hammer one shared engine with different batch sizes while
+  // a monitor thread samples cache_stats().  Lookup counters must be
+  // monotone in every sample and exactly sum-consistent at the end.
+  const NetworkSpec net = make_complete_rotation_star(2, 3);
+  const RouteEngine engine(
+      net, RouteEngineConfig{.cache_capacity = 1024, .cache_shards = 4});
+
+  constexpr std::size_t kSizes[] = {37, 128, 300, 701};
+  std::uint64_t total_pairs = 0;
+  for (const std::size_t s : kSizes) total_pairs += 3 * s;
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotone{true};
+  std::thread monitor([&] {
+    std::uint64_t last_hits = 0, last_misses = 0, last_evictions = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const RouteCacheStats s = engine.cache_stats();
+      if (s.hits < last_hits || s.misses < last_misses ||
+          s.evictions < last_evictions) {
+        monotone.store(false, std::memory_order_relaxed);
+      }
+      last_hits = s.hits;
+      last_misses = s.misses;
+      last_evictions = s.evictions;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> batchers;
+  for (std::size_t t = 0; t < std::size(kSizes); ++t) {
+    batchers.emplace_back([&engine, &net, size = kSizes[t], t] {
+      RouteBatch out;
+      for (int round = 0; round < 3; ++round) {
+        const PairList pairs =
+            random_pairs(net, size, 1000 * t + static_cast<std::uint64_t>(round));
+        engine.route_batch(pairs.src, pairs.dst, out);
+      }
+    });
+  }
+  for (auto& t : batchers) t.join();
+  done.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_TRUE(monotone.load());
+  const RouteCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses, total_pairs);
+  EXPECT_LE(stats.entries, 1024u);
+  // Every resident or evicted word came from exactly one miss-insert.
+  EXPECT_LE(stats.entries + stats.evictions, stats.misses);
+  EXPECT_GT(stats.hits, 0u);
 }
 
 }  // namespace
