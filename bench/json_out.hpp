@@ -1,13 +1,22 @@
 // Tiny append-only JSON document builder shared by the bench binaries that
 // emit machine-readable baselines (objects in arrays in one object).  Not a
 // general JSON library — just enough structure for bench/baseline_*.json.
+//
+// finish() stamps a "meta" object (compiler, flags, detected kernel
+// dispatch tier) into every document, so cross-machine baseline diffs are
+// diagnosable instead of silently noisy.  compare_bench.py skips non-array
+// sections, so the stamp never participates in row matching.
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <string>
 
+#include "core/perm_kernels.hpp"
+
 namespace benchjson {
+
+inline std::string meta_fields();
 
 struct Json {
   std::string out = "{\n";
@@ -27,6 +36,9 @@ struct Json {
     out += "    {" + fields + "}";
   }
   void finish(const char* path) {
+    out += first_section ? "" : ",\n";
+    first_section = false;
+    out += "  \"meta\": {" + meta_fields() + "}";
     out += "\n}\n";
     if (std::FILE* f = std::fopen(path, "w")) {
       std::fwrite(out.data(), 1, out.size(), f);
@@ -51,6 +63,22 @@ inline std::string kv(const char* k, std::uint64_t v) {
 }
 inline std::string kv(const char* k, const std::string& v) {
   return "\"" + std::string(k) + "\": \"" + v + "\"";
+}
+
+/// The provenance stamp: compiler banner, the flags the bench CMake target
+/// was built with (SCG_CXX_FLAGS compile definition, empty if absent), and
+/// the kernel dispatch tier selected on this CPU at startup.
+inline std::string meta_fields() {
+#ifdef SCG_CXX_FLAGS
+  const char* flags = SCG_CXX_FLAGS;
+#else
+  const char* flags = "";
+#endif
+  std::string s = kv("compiler", std::string(__VERSION__));
+  s += ", " + kv("flags", std::string(flags));
+  s += ", " + kv("kernel_tier",
+                 std::string(scg::kernel_tier_name(scg::active_kernel_tier())));
+  return s;
 }
 
 }  // namespace benchjson

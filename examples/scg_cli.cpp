@@ -31,6 +31,9 @@
 //                                                 the SLO snapshot, and
 //                                                 verify sampled words
 //                                                 against the scalar router
+//   scg_cli kernels                               SIMD permutation-kernel
+//                                                 dispatch tier + micro-timings
+//                                                 with scalar identity check
 //   scg_cli policies                              list registered route policies
 //
 // <family> ∈ {MS, RS, cRS, MR, RR, cRR, IS, MIS, RIS, cRIS, star, rotator,
@@ -44,8 +47,13 @@
 #include <iostream>
 #include <string>
 
+#include <numeric>
+#include <random>
+#include <vector>
+
 #include "analysis/bounds.hpp"
 #include "analysis/formulas.hpp"
+#include "core/perm_kernels.hpp"
 #include "chaos/adaptive_policy.hpp"
 #include "chaos/campaign.hpp"
 #include "networks/oracle_policy.hpp"
@@ -331,13 +339,106 @@ int cmd_serve_bench(const scg::NetworkSpec& net, int workers,
   return 0;
 }
 
+// Report the permutation-kernel dispatch tier and quick per-primitive
+// micro-timings with a byte-identity check against the scalar Permutation
+// ops.  A smoke-level view of bench/bench_kernels (which writes the gated
+// baseline); exits non-zero if any kernel output differs.
+int cmd_kernels() {
+  using scg::PermBlock;
+  using scg::Permutation;
+  std::printf("active tier: %s\nsupported:  ",
+              scg::kernel_tier_name(scg::active_kernel_tier()));
+  for (const scg::KernelTier t : scg::supported_kernel_tiers()) {
+    std::printf(" %s", scg::kernel_tier_name(t));
+  }
+  std::printf("\n\n%4s  %-8s  %12s  %s\n", "k", "op", "kernel M/s",
+              "identical");
+  bool all_ok = true;
+  for (const int k : {9, 13, 16, 20}) {
+    std::mt19937_64 rng(0x5eedULL + static_cast<std::uint64_t>(k));
+    constexpr std::size_t kBatch = 2048;
+    std::vector<std::uint8_t> sym(static_cast<std::size_t>(k));
+    std::vector<Permutation> as, bs;
+    for (std::size_t i = 0; i < 2 * kBatch; ++i) {
+      std::iota(sym.begin(), sym.end(), std::uint8_t{1});
+      std::shuffle(sym.begin(), sym.end(), rng);
+      (i < kBatch ? as : bs).push_back(Permutation::from_symbols(sym));
+    }
+    std::uniform_int_distribution<std::uint64_t> pick(0,
+                                                      scg::factorial(k) - 1);
+    std::vector<std::uint64_t> ranks(kBatch);
+    for (std::uint64_t& r : ranks) r = pick(rng);
+    PermBlock a, b, out;
+    a.resize(k, kBatch);
+    b.resize(k, kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      a.set(i, as[i]);
+      b.set(i, bs[i]);
+    }
+    const auto report = [&](const char* op, auto&& kernel, auto&& check) {
+      using Clock = std::chrono::steady_clock;
+      kernel();  // warm up
+      double best = 1e300;
+      for (int trial = 0; trial < 4; ++trial) {
+        const auto t0 = Clock::now();
+        for (int rep = 0; rep < 4; ++rep) kernel();
+        best = std::min(best,
+                        std::chrono::duration<double>(Clock::now() - t0).count());
+      }
+      const bool ok = check();
+      all_ok = all_ok && ok;
+      std::printf("%4d  %-8s  %12.2f  %s\n", k, op,
+                  static_cast<double>(4 * kBatch) / best / 1e6,
+                  ok ? "yes" : "NO");
+    };
+    report(
+        "compose", [&] { scg::perm_kernels::compose(a, b, out); },
+        [&] {
+          for (std::size_t i = 0; i < kBatch; ++i) {
+            if (out.get(i) != as[i].compose_positions(bs[i])) return false;
+          }
+          return true;
+        });
+    report(
+        "inverse", [&] { scg::perm_kernels::inverse(a, out); },
+        [&] {
+          for (std::size_t i = 0; i < kBatch; ++i) {
+            if (out.get(i) != as[i].inverse()) return false;
+          }
+          return true;
+        });
+    report(
+        "unrank", [&] { scg::perm_kernels::unrank(k, ranks, out); },
+        [&] {
+          for (std::size_t i = 0; i < kBatch; ++i) {
+            if (out.get(i) != Permutation::unrank(k, ranks[i])) return false;
+          }
+          return true;
+        });
+    std::vector<std::uint64_t> got(kBatch);
+    report(
+        "rank", [&] { scg::perm_kernels::rank(a, got); },
+        [&] {
+          for (std::size_t i = 0; i < kBatch; ++i) {
+            if (got[i] != as[i].rank()) return false;
+          }
+          return true;
+        });
+  }
+  if (!all_ok) {
+    std::fprintf(stderr, "FAIL: kernel output differs from scalar ops\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: scg_cli info|route|trace|dot|histogram|sim|chaos|"
-                 "serve-bench|families|policies ...\n");
+                 "serve-bench|kernels|families|policies ...\n");
     return 2;
   }
   scg::register_oracle_policy();    // make "oracle" selectable by name
@@ -355,6 +456,7 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (cmd == "kernels") return cmd_kernels();
   if (argc < 5) {
     std::fprintf(stderr, "usage: scg_cli %s <family> <l> <n> ...\n", cmd.c_str());
     return 2;

@@ -3,7 +3,9 @@
 #   1. default build + full ctest (the tier-1 gate);
 #   2. ASan+UBSan build + the fast-labelled tests (large sweeps excluded —
 #      run `ctest --preset asan-fast` with no label filter to widen);
-#   3. TSan build of the concurrency-heavy suites (ThreadPool, event-core
+#   3. standalone UBSan build of the kernel-heavy suites (permutation,
+#      SIMD perm kernels, route engine, oracle), run directly;
+#   4. TSan build of the concurrency-heavy suites (ThreadPool, event-core
 #      lazy routing, chaos campaign), run directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +35,21 @@ repo_root="$PWD"
 python3 scripts/compare_bench.py bench/baseline_engine.json \
   "$engine_dir/bench/baseline_engine.json" --tolerance 0.5
 rm -rf "$engine_dir"
+
+echo "== kernel microbench: SIMD tier identity + speedup gate =="
+# bench_kernels exits non-zero if any SIMD tier output differs from the
+# scalar reference; the JSON gate pins the byte-identity flags exactly and
+# the speedup/rate fields loosely (the committed baseline's dispatch tier is
+# stamped in its "meta" object).
+kern_dir="$(mktemp -d /tmp/scg-kern.XXXXXX)"
+mkdir -p "$kern_dir/bench"
+(cd "$kern_dir" && "$repo_root/build/bench/bench_kernels")
+python3 scripts/compare_bench.py bench/baseline_kernels.json \
+  "$kern_dir/bench/baseline_kernels.json" --tolerance 0.5
+rm -rf "$kern_dir"
+
+echo "== kernels smoke: dispatch tier report + scalar identity check =="
+./build/examples/scg_cli kernels
 
 echo "== simulation bench: event-core invariants + lazy-routing gate =="
 # Same scratch-dir pattern: bench_mcmp re-simulates every workload and the
@@ -77,6 +94,17 @@ echo "== sanitizers: asan+ubsan build, fast tests =="
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan-fast -j"$(nproc)"
+
+echo "== sanitizers: standalone ubsan build, kernel-heavy suites =="
+# The SIMD kernels and their consumers lean on pointer casts, target-gated
+# intrinsics, and reciprocal arithmetic; run those suites under pure UBSan
+# (no ASan redzones, so the vector loads/stores run at full width).
+cmake --preset ubsan
+cmake --build --preset ubsan -j"$(nproc)"
+./build-ubsan/tests/permutation_test
+./build-ubsan/tests/perm_kernels_test
+./build-ubsan/tests/route_engine_test
+./build-ubsan/tests/oracle_test
 
 echo "== sanitizers: tsan build, concurrency suites =="
 # ThreadPool, the event core's lazy routing, the chaos campaign, and the

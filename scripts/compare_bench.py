@@ -71,6 +71,11 @@ INVARIANT_FIELDS = {
     "conservation",
     "words_ok",
     "shed_nonzero",
+    # Kernel microbenches (bench/baseline_kernels.json): every SIMD tier
+    # must be byte-identical to the scalar reference on the bench inputs.
+    # The dispatch tier itself is stamped into the "meta" object (skipped
+    # below), not a row field — tiers differ across machines by design.
+    "identical",
 }
 
 

@@ -45,20 +45,33 @@ OptimalityAudit audit_route_optimality(const NetworkSpec& net,
       net.num_nodes(), Partial{},
       [&](std::uint64_t lo, std::uint64_t hi) {
         Partial p;
-        for (std::uint64_t r = lo; r < hi; ++r) {
-          const int exact = oracle.distance_to_identity(r);
-          if (exact <= 0) continue;  // identity (or unreachable) source
-          const Permutation u = Permutation::unrank(net.k(), r);
-          const int routed = engine.route_length_rel(u);
-          const double stretch =
-              static_cast<double>(routed) / static_cast<double>(exact);
-          ++p.sources;
-          if (routed == exact) ++p.optimal;
-          p.stretch_sum += stretch;
-          p.max_stretch = std::max(p.max_stretch, stretch);
-          if (routed - exact > p.max_gap) {
-            p.max_gap = routed - exact;
-            p.worst_rank = r;
+        // The sweep visits every rank in order, so sources unrank through
+        // the lockstep kernel a block at a time; the counting kernel then
+        // consumes each state exactly as the scalar loop did.
+        constexpr std::size_t kBlock = 256;
+        PermBlock block;
+        std::vector<std::uint64_t> ranks(kBlock);
+        for (std::uint64_t base = lo; base < hi; base += kBlock) {
+          const std::size_t m =
+              static_cast<std::size_t>(std::min<std::uint64_t>(kBlock, hi - base));
+          ranks.resize(m);
+          for (std::size_t i = 0; i < m; ++i) ranks[i] = base + i;
+          perm_kernels::unrank(net.k(), ranks, block);
+          for (std::size_t i = 0; i < m; ++i) {
+            const std::uint64_t r = base + i;
+            const int exact = oracle.distance_to_identity(r);
+            if (exact <= 0) continue;  // identity (or unreachable) source
+            const int routed = engine.route_length_rel(block.get(i));
+            const double stretch =
+                static_cast<double>(routed) / static_cast<double>(exact);
+            ++p.sources;
+            if (routed == exact) ++p.optimal;
+            p.stretch_sum += stretch;
+            p.max_stretch = std::max(p.max_stretch, stretch);
+            if (routed - exact > p.max_gap) {
+              p.max_gap = routed - exact;
+              p.worst_rank = r;
+            }
           }
         }
         return p;

@@ -369,6 +369,7 @@ RouteEngine::RouteEngine(const NetworkSpec& net, RouteEngineConfig cfg)
       if (cg.tab[p] != p) prefix = p + 1;
     }
     cg.prefix_len = prefix;
+    cg.lane = make_table_lane(cg.tab.data(), k);
     const int key = gen_key(g);
     if (key >= 0) {
       gen_index_[static_cast<std::size_t>(key)] =
@@ -415,12 +416,17 @@ int RouteEngine::solve_rel(const Permutation& w, std::vector<Generator>& out,
 
 std::span<const Generator> RouteEngine::route_rel_into(const Permutation& w,
                                                        RouteBuffer& buf) const {
+  return route_rel_keyed(w, shards_ != nullptr ? w.rank() : 0, buf);
+}
+
+std::span<const Generator> RouteEngine::route_rel_keyed(const Permutation& w,
+                                                        std::uint64_t key,
+                                                        RouteBuffer& buf) const {
   buf.reserve(static_cast<std::size_t>(bound_));
   if (shards_ == nullptr) {
     solve_rel(w, buf.word, buf.scratch);
     return {buf.word.data(), buf.word.size()};
   }
-  const std::uint64_t key = w.rank();
   CacheShard& sh = *shard_for(key);
   {
     std::lock_guard lk(sh.mu);
@@ -525,11 +531,22 @@ void RouteEngine::route_batch(std::span<const std::uint64_t> src,
         ch.off.clear();
         ch.off.reserve(static_cast<std::size_t>(hi - lo + 1));
         ch.off.push_back(0);
-        for (std::uint64_t i = lo; i < hi; ++i) {
-          const Permutation u = Permutation::unrank(k, src[i]);
-          const Permutation v = Permutation::unrank(k, dst[i]);
-          const std::span<const Generator> word =
-              route_rel_into(u.relabel_symbols(v.inverse()), ch.buf);
+        // Kernel front end: batch-unrank the whole chunk, invert the
+        // destinations and form W = V^{-1}∘U (plus cache keys) with the
+        // SIMD layer; the solvers then consume one relative permutation
+        // per pair, exactly as the scalar path would have built it.
+        const std::size_t n = hi - lo;
+        perm_kernels::unrank(k, src.subspan(lo, n), ch.srcs);
+        perm_kernels::unrank(k, dst.subspan(lo, n), ch.dsts);
+        perm_kernels::inverse(ch.dsts, ch.inv_dsts);
+        perm_kernels::relabel(ch.srcs, ch.inv_dsts, ch.rel);
+        if (shards_ != nullptr) {
+          ch.keys.resize(n);
+          perm_kernels::rank(ch.rel, ch.keys);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::span<const Generator> word = route_rel_keyed(
+              ch.rel.get(i), shards_ != nullptr ? ch.keys[i] : 0, ch.buf);
           ch.words.insert(ch.words.end(), word.begin(), word.end());
           ch.off.push_back(static_cast<std::uint32_t>(ch.words.size()));
         }
@@ -551,21 +568,32 @@ void RouteEngine::expand_path(std::uint64_t src_rank,
 void RouteEngine::expand_path_into(std::uint64_t src_rank,
                                    std::span<const Generator> word,
                                    std::uint32_t* out) const {
-  Permutation u = Permutation::unrank(net_->k(), src_rank);
+  // The whole walk happens on one kernel lane: unrank once, then each hop
+  // is a single dispatched shuffle (identity-padded tables make the
+  // full-width shuffle exact) followed by a Myrvold–Ruskey rank of the
+  // lane.  Descriptors outside the compiled table — never a generator of
+  // the spec — drop to the scalar Permutation path for that hop.
+  const int k = net_->k();
+  const int stride = k <= 16 ? 16 : kPermLaneBytes;
+  alignas(kPermLaneBytes) std::uint8_t lane[kPermLaneBytes];
+  perm_kernels::unrank_lane(k, src_rank, lane);
   *out++ = static_cast<std::uint32_t>(src_rank);
-  std::array<std::uint8_t, kMaxSymbols> tmp{};
   for (const Generator& g : word) {
     const int key = gen_key(g);
     const std::int16_t gi =
         key < 0 ? std::int16_t{-1} : gen_index_[static_cast<std::size_t>(key)];
     if (gi < 0) {
+      std::uint8_t sym[kMaxSymbols];
+      for (int p = 0; p < k; ++p) sym[p] = static_cast<std::uint8_t>(lane[p] + 1);
+      Permutation u = Permutation::from_symbols(
+          std::span<const std::uint8_t>(sym, static_cast<std::size_t>(k)));
       g.apply(u);
+      for (int p = 0; p < k; ++p) lane[p] = static_cast<std::uint8_t>(u[p] - 1);
     } else {
-      const CompiledGen& cg = compiled_[static_cast<std::size_t>(gi)];
-      for (int p = 0; p < cg.prefix_len; ++p) tmp[p] = u[cg.tab[p]];
-      for (int p = 0; p < cg.prefix_len; ++p) u[p] = tmp[p];
+      perm_kernels::apply_table_lane(
+          lane, compiled_[static_cast<std::size_t>(gi)].lane, stride);
     }
-    *out++ = static_cast<std::uint32_t>(u.rank());
+    *out++ = static_cast<std::uint32_t>(perm_kernels::rank_lane(lane, k));
   }
 }
 

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/perm_kernels.hpp"
 #include "networks/super_cayley.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -132,6 +133,11 @@ class RouteBatch {
     RouteBuffer buf;                  ///< solver scratch for this chunk
     std::vector<Generator> words;     ///< concatenated words of [lo, hi)
     std::vector<std::uint32_t> off;   ///< hi-lo+1 offsets into `words`
+    /// Kernel scratch: the chunk's sources/destinations are batch-unranked
+    /// and turned into relative permutations W = V^{-1}∘U (plus their cache
+    /// keys) by the SIMD layer before any solver runs.
+    PermBlock srcs, dsts, inv_dsts, rel;
+    std::vector<std::uint64_t> keys;
   };
 
   const Chunk& chunk_of(std::size_t i) const;
@@ -184,6 +190,13 @@ class RouteEngine {
   /// Same, but takes the relative permutation W = V^{-1}∘U directly.
   std::span<const Generator> route_rel_into(const Permutation& w,
                                             RouteBuffer& buf) const;
+
+  /// route_rel_into with the cache key (rank of `w`) already in hand —
+  /// batch callers compute keys with the SIMD rank kernel, so the scalar
+  /// per-request rank is skipped.  `key` is ignored when the cache is off.
+  std::span<const Generator> route_rel_keyed(const Permutation& w,
+                                             std::uint64_t key,
+                                             RouteBuffer& buf) const;
 
   /// Hop count of the word route_into would produce; zero allocation.  On a
   /// cache hit returns the cached length; on a miss runs the counting kernel
@@ -246,6 +259,7 @@ class RouteEngine {
   struct CompiledGen {
     std::array<std::uint8_t, kMaxSymbols> tab{};
     int prefix_len = 0;
+    PermLane lane{};  ///< `tab` identity-padded for the shuffle kernels
   };
   std::vector<CompiledGen> compiled_;
   /// (kind, i, n) -> index into compiled_, -1 if not a generator of net_.

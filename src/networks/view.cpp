@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <stdexcept>
 
+#include "core/perm_kernels.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace scg {
@@ -111,7 +113,6 @@ NetworkView NetworkView::cached(const NetworkSpec& net,
 // first so the active set is always a prefix of it.
 int NetworkView::expand_compiled(std::uint64_t rank, std::uint64_t* out) const {
   std::array<std::uint8_t, kMaxSymbols> pi;   // position -> 0-based symbol
-  std::array<std::uint8_t, kMaxSymbols> inv;  // symbol -> position
   for (int i = 0; i < k_; ++i) pi[i] = static_cast<std::uint8_t>(i);
   {
     std::uint64_t r = rank;
@@ -121,6 +122,14 @@ int NetworkView::expand_compiled(std::uint64_t rank, std::uint64_t* out) const {
       std::swap(pi[n - 1], pi[rem]);
     }
   }
+  return expand_from_state(pi.data(), out);
+}
+
+int NetworkView::expand_from_state(const std::uint8_t* state,
+                                   std::uint64_t* out) const {
+  std::array<std::uint8_t, kMaxSymbols> pi;   // position -> 0-based symbol
+  std::array<std::uint8_t, kMaxSymbols> inv;  // symbol -> position
+  std::memcpy(pi.data(), state, static_cast<std::size_t>(k_));
   for (int i = 0; i < k_; ++i) inv[pi[i]] = static_cast<std::uint8_t>(i);
 
   const std::size_t d = order_.size();
@@ -190,6 +199,38 @@ int NetworkView::expand_compiled(std::uint64_t rank, std::uint64_t* out) const {
     out[order_[gi].index] = res[gi].base + res[gi].scale * res[gi].r2;
   }
   return static_cast<int>(d);
+}
+
+int NetworkView::expand_neighbors_block(std::span<const std::uint64_t> ranks,
+                                        std::uint64_t* out) const {
+  switch (backend_) {
+    case Backend::kImplicit: {
+      // The unranks of the whole block run through the lockstep kernel
+      // (several reciprocal-divmod chains in flight); each state then gets
+      // the same shared-prefix residual expansion the scalar path runs, so
+      // rows are entry-for-entry identical to expand_neighbors.
+      thread_local PermBlock block;
+      perm_kernels::unrank(k_, ranks, block);
+      for (std::size_t i = 0; i < ranks.size(); ++i) {
+        expand_from_state(block.lane(i),
+                          out + i * static_cast<std::size_t>(degree_));
+      }
+      return degree_;
+    }
+    case Backend::kCached: {
+      for (std::size_t i = 0; i < ranks.size(); ++i) {
+        const std::uint32_t* row =
+            cache_.data() + ranks[i] * static_cast<std::uint64_t>(degree_);
+        std::uint64_t* o = out + i * static_cast<std::size_t>(degree_);
+        for (int j = 0; j < degree_; ++j) o[j] = row[j];
+      }
+      return degree_;
+    }
+    case Backend::kCsr:
+      throw std::invalid_argument(
+          "expand_neighbors_block: CSR views are not regular");
+  }
+  return 0;
 }
 
 }  // namespace scg

@@ -34,6 +34,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/permutation.hpp"
@@ -108,6 +109,16 @@ class NetworkView {
     return 0;
   }
 
+  /// Block form of expand_neighbors for regular views (kImplicit/kCached):
+  /// fills out[i * degree() + j] with neighbor j of ranks[i] — row i equal,
+  /// entry for entry, to what expand_neighbors(ranks[i], ..) writes — and
+  /// returns degree().  For kImplicit the whole block is unranked by the
+  /// lockstep SIMD kernel before the per-state shared-prefix expansion runs,
+  /// which is where retrograde BFS sweeps spend their time.  Throws for
+  /// kCsr views (irregular rows have no fixed stride).
+  int expand_neighbors_block(std::span<const std::uint64_t> ranks,
+                             std::uint64_t* out) const;
+
   /// fn(v, tag) once per out-link of u.
   template <typename Fn>
   void for_each_neighbor(std::uint64_t u, Fn&& fn) const {
@@ -149,6 +160,11 @@ class NetworkView {
 
   /// Shared-prefix Myrvold–Ruskey batch expansion (see view.cpp).
   int expand_compiled(std::uint64_t rank, std::uint64_t* out) const;
+
+  /// The expansion proper, from an already-unranked state (`state` is the
+  /// position -> 0-based-symbol array, k_ bytes; exactly what the kernel
+  /// unrank produces per lane).
+  int expand_from_state(const std::uint8_t* state, std::uint64_t* out) const;
 
   Backend backend_ = Backend::kCsr;
   const NetworkSpec* spec_ = nullptr;

@@ -117,26 +117,39 @@ DistanceOracle DistanceOracle::build(const NetworkSpec& net, ThreadPool* pool) {
     parallel_for_chunks(
         bitmap_words,
         [&](std::uint64_t lo, std::uint64_t hi) {
-          std::array<std::uint64_t, kMaxCompiledDegree> buf;
+          // Frontier states are gathered into fixed blocks and expanded
+          // through the kernel-batched view API (one lockstep unrank pass
+          // per block); rows keep the per-state neighbor order, so claims
+          // and counts are exactly those of the per-state loop.
+          constexpr std::size_t kBlock = 128;
+          const std::size_t deg = static_cast<std::size_t>(rev.degree());
+          std::array<std::uint64_t, kBlock> ranks;
+          std::vector<std::uint64_t> nbrs(kBlock * deg);
+          std::size_t m = 0;
           std::uint64_t local = 0;
+          const auto flush = [&] {
+            rev.expand_neighbors_block({ranks.data(), m}, nbrs.data());
+            for (std::size_t s = 0; s < m * deg; ++s) {
+              const std::uint64_t v = nbrs[s];
+              if (claim_entry(o.table_, v, val)) {
+                std::atomic_ref<std::uint64_t>(next[v >> 6])
+                    .fetch_or(std::uint64_t{1} << (v & 63),
+                              std::memory_order_relaxed);
+                ++local;
+              }
+            }
+            m = 0;
+          };
           for (std::uint64_t w = lo; w < hi; ++w) {
             std::uint64_t bits = frontier[w];
             while (bits != 0) {
-              const std::uint64_t u =
+              ranks[m++] =
                   w * 64 + static_cast<std::uint64_t>(std::countr_zero(bits));
               bits &= bits - 1;
-              const int d = rev.expand_neighbors(u, buf.data());
-              for (int j = 0; j < d; ++j) {
-                const std::uint64_t v = buf[j];
-                if (claim_entry(o.table_, v, val)) {
-                  std::atomic_ref<std::uint64_t>(next[v >> 6])
-                      .fetch_or(std::uint64_t{1} << (v & 63),
-                                std::memory_order_relaxed);
-                  ++local;
-                }
-              }
+              if (m == kBlock) flush();
             }
           }
+          if (m > 0) flush();
           found.fetch_add(local, std::memory_order_relaxed);
         },
         grain, pool);
