@@ -6,7 +6,12 @@
 #   3. standalone UBSan build of the kernel-heavy suites (permutation,
 #      SIMD perm kernels, route engine, oracle), run directly;
 #   4. TSan build of the concurrency-heavy suites (ThreadPool, event-core
-#      lazy routing, chaos campaign), run directly.
+#      lazy routing, chaos campaign), run directly;
+#   5. static analysis, when the tools are installed: a clang build with
+#      -Werror=thread-safety (plus the negative-compilation tests proving
+#      the annotations bite), the clang-tidy gate, and shellcheck over
+#      scripts/.  Each step degrades to a skip message where the tool is
+#      absent — CI's static-analysis job is the enforcing run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -116,5 +121,24 @@ cmake --build --preset tsan -j"$(nproc)"
 ./build-tsan/tests/event_core_test
 ./build-tsan/tests/chaos_test
 ./build-tsan/tests/serve_test
+
+echo "== static analysis: clang thread-safety build =="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset clang
+  cmake --build --preset clang -j"$(nproc)"
+  ctest --preset clang-fast -j"$(nproc)"
+else
+  echo "clang++ not found; skipping (the CI static-analysis job enforces it)"
+fi
+
+echo "== static analysis: clang-tidy gate =="
+scripts/run_tidy.sh
+
+echo "== static analysis: shellcheck =="
+if command -v shellcheck >/dev/null 2>&1; then
+  shellcheck scripts/*.sh
+else
+  echo "shellcheck not found; skipping (the CI static-analysis job enforces it)"
+fi
 
 echo "== all checks passed =="

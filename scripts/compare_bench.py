@@ -79,6 +79,29 @@ INVARIANT_FIELDS = {
 }
 
 
+def structure_error(label, path, data):
+    """One-line description of the first structural problem, or None.
+
+    The expected shape is an object of named row arrays (plus free-form
+    non-array sections such as "meta").  Anything else used to surface as
+    an AttributeError traceback deep inside compare(); name the offending
+    file instead.
+    """
+    if not isinstance(data, dict):
+        return (f"compare_bench: {label} file '{path}' is malformed: top "
+                f"level is {type(data).__name__}, expected an object of "
+                f"row arrays")
+    for section, rows in data.items():
+        if not isinstance(rows, list):
+            continue  # meta-style sections are fine; compare() skips them
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                return (f"compare_bench: {label} file '{path}' is "
+                        f"malformed: {section}[{i}] is "
+                        f"{type(row).__name__}, expected an object")
+    return None
+
+
 def row_key(row):
     return tuple((f, row[f]) for f in IDENTITY_FIELDS if f in row)
 
@@ -91,9 +114,19 @@ def fmt_key(section, key):
 def compare(baseline, fresh, tolerance):
     failures = []
     for section, base_rows in baseline.items():
-        fresh_rows = {row_key(r): r for r in fresh.get(section, [])}
+        # Skip non-array sections ("meta") BEFORE keying the fresh side:
+        # iterating a fresh dict here yields its keys, and a key containing
+        # an identity field as a substring (e.g. the "k" in "kernel_tier")
+        # used to crash row_key with a string-index TypeError.
         if not isinstance(base_rows, list):
             continue
+        fresh_section = fresh.get(section, [])
+        if not isinstance(fresh_section, list):
+            failures.append(
+                f"{section}: fresh section is "
+                f"{type(fresh_section).__name__}, expected an array")
+            continue
+        fresh_rows = {row_key(r): r for r in fresh_section}
         for base_row in base_rows:
             key = row_key(base_row)
             where = fmt_key(section, key)
@@ -141,6 +174,10 @@ def main():
         except json.JSONDecodeError as e:
             print(f"compare_bench: {label} file '{path}' is not valid "
                   f"JSON: {e}")
+            return 1
+        error = structure_error(label, path, data)
+        if error is not None:
+            print(error)
             return 1
         if label == "baseline":
             baseline = data

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# clang-tidy gate over the library + tool sources, driven by the clang
+# preset's compile-commands database (so every TU is analysed with exactly
+# the flags it builds with).  The enforced-error set lives in .clang-tidy
+# (WarningsAsErrors); everything else prints as advisory warnings.
+#
+# Usage: scripts/run_tidy.sh [build-dir]   (default: build-clang)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build-clang}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_tidy.sh: clang-tidy not found; skipping (the CI static-analysis job enforces it)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy.sh: $build_dir/compile_commands.json missing" >&2
+  echo "run_tidy.sh: configure first: cmake --preset clang" >&2
+  exit 1
+fi
+
+# Analyse first-party TUs only: src/, examples/, bench/ — not _deps/ or
+# generated sources.
+mapfile -t files < <(python3 - "$build_dir/compile_commands.json" <<'EOF'
+import json
+import os
+import sys
+
+repo = os.getcwd()
+first_party = tuple(os.path.join(repo, d) + os.sep
+                    for d in ("src", "examples", "bench", "tests"))
+seen = set()
+for entry in json.load(open(sys.argv[1])):
+    f = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+    if f.startswith(first_party) and f not in seen:
+        seen.add(f)
+        print(f)
+EOF
+)
+
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "run_tidy.sh: no first-party TUs found in $build_dir/compile_commands.json" >&2
+  exit 1
+fi
+
+echo "run_tidy.sh: analysing ${#files[@]} TUs with $(clang-tidy --version | head -n1)"
+printf '%s\n' "${files[@]}" |
+  xargs -P "$(nproc)" -n 4 clang-tidy -p "$build_dir" --quiet
+echo "run_tidy.sh: clean"

@@ -1,0 +1,39 @@
+#include "core/check.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace scg::check_detail {
+
+namespace {
+
+void print_banner(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "%s:%d: SCG_CHECK(%s) failed", file, line, expr);
+}
+
+}  // namespace
+
+void check_fail(const char* file, int line, const char* expr, const char* fmt,
+                ...) {
+  print_banner(file, line, expr);
+  if (fmt != nullptr) {
+    std::fputs(": ", stderr);
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+  }
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void check_fail_op(const char* file, int line, const char* expr,
+                   const char* lhs, const char* rhs) {
+  print_banner(file, line, expr);
+  std::fprintf(stderr, ": %s vs %s\n", lhs, rhs);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace scg::check_detail

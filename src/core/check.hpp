@@ -1,0 +1,128 @@
+// Contract checks — loud, contextual failure instead of UB.
+//
+// Two tiers, mirroring the assert() discipline they replace:
+//
+//  * `SCG_CHECK(cond)` / `SCG_CHECK(cond, "fmt", ...)` — ALWAYS ON, every
+//    build type.  On violation prints `file:line: SCG_CHECK(expr) failed`
+//    plus an optional printf-formatted message to stderr and aborts.  Use
+//    for invariants whose violation would otherwise corrupt memory or
+//    silently mis-answer (arena bounds, table indices, format headers) and
+//    whose cost is off the hot path.
+//  * `SCG_DCHECK(cond, ...)` — compiled to nothing unless `SCG_CHECKED=1`
+//    is defined or NDEBUG is absent (i.e. Debug builds keep the old
+//    assert() behaviour, release hot paths pay zero).  Use on per-element
+//    hot paths: generator application, rank/unrank, SIMD lane setup.
+//
+// Comparison forms `SCG_CHECK_EQ/NE/LT/LE/GT/GE(a, b)` (and SCG_DCHECK_*)
+// evaluate each operand exactly once and print both values on failure.
+//
+// API-misuse errors that callers can reasonably handle keep throwing
+// (std::invalid_argument & friends); CHECK is for *internal* invariants
+// where the only correct continuation is "stop, loudly, here".
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+namespace scg::check_detail {
+
+/// Prints the failure banner (+ optional printf-style message) and aborts.
+[[noreturn]] void check_fail(const char* file, int line, const char* expr,
+                             const char* fmt = nullptr, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+/// Binary-comparison failure: banner plus the two stringified operands.
+[[noreturn]] void check_fail_op(const char* file, int line, const char* expr,
+                                const char* lhs, const char* rhs);
+
+/// Best-effort stringification for failure messages (cold path only).
+template <typename T>
+std::string check_str(const T& v) {
+  using D = std::decay_t<T>;
+  if constexpr (std::is_same_v<D, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (std::is_enum_v<D>) {
+    return std::to_string(static_cast<long long>(v));
+  } else if constexpr (std::is_integral_v<D> && std::is_signed_v<D>) {
+    return std::to_string(static_cast<long long>(v));
+  } else if constexpr (std::is_integral_v<D>) {
+    return std::to_string(static_cast<unsigned long long>(v));
+  } else if constexpr (std::is_floating_point_v<D>) {
+    return std::to_string(v);
+  } else if constexpr (std::is_pointer_v<D>) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%p", static_cast<const void*>(v));
+    return buf;
+  } else {
+    return "<value>";
+  }
+}
+
+}  // namespace scg::check_detail
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SCG_CHECK_LIKELY(x) __builtin_expect(!!(x), 1)
+#else
+#define SCG_CHECK_LIKELY(x) (x)
+#endif
+
+/// Always-on invariant: aborts with file:line, the expression, and an
+/// optional printf-formatted context message.
+#define SCG_CHECK(cond, ...)                                              \
+  do {                                                                    \
+    if (!SCG_CHECK_LIKELY(cond)) {                                        \
+      ::scg::check_detail::check_fail(__FILE__, __LINE__,                 \
+                                      #cond __VA_OPT__(, ) __VA_ARGS__); \
+    }                                                                     \
+  } while (false)
+
+#define SCG_CHECK_OP_IMPL(a, b, op)                                         \
+  do {                                                                      \
+    auto&& scg_check_a_ = (a);                                              \
+    auto&& scg_check_b_ = (b);                                              \
+    if (!SCG_CHECK_LIKELY(scg_check_a_ op scg_check_b_)) {                  \
+      ::scg::check_detail::check_fail_op(                                   \
+          __FILE__, __LINE__, #a " " #op " " #b,                            \
+          ::scg::check_detail::check_str(scg_check_a_).c_str(),             \
+          ::scg::check_detail::check_str(scg_check_b_).c_str());            \
+    }                                                                       \
+  } while (false)
+
+#define SCG_CHECK_EQ(a, b) SCG_CHECK_OP_IMPL(a, b, ==)
+#define SCG_CHECK_NE(a, b) SCG_CHECK_OP_IMPL(a, b, !=)
+#define SCG_CHECK_LT(a, b) SCG_CHECK_OP_IMPL(a, b, <)
+#define SCG_CHECK_LE(a, b) SCG_CHECK_OP_IMPL(a, b, <=)
+#define SCG_CHECK_GT(a, b) SCG_CHECK_OP_IMPL(a, b, >)
+#define SCG_CHECK_GE(a, b) SCG_CHECK_OP_IMPL(a, b, >=)
+
+// Debug-tier checks: active when explicitly requested (SCG_CHECKED=1, any
+// build type) or in builds without NDEBUG (plain Debug), otherwise zero
+// code — same policy the assert() calls they replaced had, plus the
+// release-mode opt-in.
+#if (defined(SCG_CHECKED) && SCG_CHECKED) || !defined(NDEBUG)
+#define SCG_DCHECK_IS_ON 1
+#else
+#define SCG_DCHECK_IS_ON 0
+#endif
+
+#if SCG_DCHECK_IS_ON
+#define SCG_DCHECK(cond, ...) SCG_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define SCG_DCHECK_EQ(a, b) SCG_CHECK_EQ(a, b)
+#define SCG_DCHECK_NE(a, b) SCG_CHECK_NE(a, b)
+#define SCG_DCHECK_LT(a, b) SCG_CHECK_LT(a, b)
+#define SCG_DCHECK_LE(a, b) SCG_CHECK_LE(a, b)
+#define SCG_DCHECK_GT(a, b) SCG_CHECK_GT(a, b)
+#define SCG_DCHECK_GE(a, b) SCG_CHECK_GE(a, b)
+#else
+#define SCG_DCHECK(cond, ...) ((void)0)
+#define SCG_DCHECK_EQ(a, b) ((void)0)
+#define SCG_DCHECK_NE(a, b) ((void)0)
+#define SCG_DCHECK_LT(a, b) ((void)0)
+#define SCG_DCHECK_LE(a, b) ((void)0)
+#define SCG_DCHECK_GT(a, b) ((void)0)
+#define SCG_DCHECK_GE(a, b) ((void)0)
+#endif

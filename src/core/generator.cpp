@@ -1,8 +1,9 @@
 #include "core/generator.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace scg {
 
@@ -26,13 +27,13 @@ void Generator::apply(Permutation& u) const {
   switch (kind) {
     case GenKind::kTransposition: {
       // T_i: interchange u_1 with u_i.
-      assert(i >= 2 && i <= u.size());
+      SCG_DCHECK(i >= 2 && i <= u.size());
       std::swap(u[0], u[i - 1]);
       return;
     }
     case GenKind::kInsertion: {
       // I_i(U) = u_{2:i} u_1 u_{i+1:k} — cyclic left shift of u_{1:i}.
-      assert(i >= 2 && i <= u.size());
+      SCG_DCHECK(i >= 2 && i <= u.size());
       const std::uint8_t head = u[0];
       for (int p = 0; p < i - 1; ++p) u[p] = u[p + 1];
       u[i - 1] = head;
@@ -40,7 +41,7 @@ void Generator::apply(Permutation& u) const {
     }
     case GenKind::kSelection: {
       // I_i^{-1}(U) = u_i u_{1:i-1} u_{i+1:k} — cyclic right shift of u_{1:i}.
-      assert(i >= 2 && i <= u.size());
+      SCG_DCHECK(i >= 2 && i <= u.size());
       const std::uint8_t tail = u[i - 1];
       for (int p = i - 1; p > 0; --p) u[p] = u[p - 1];
       u[0] = tail;
@@ -48,8 +49,8 @@ void Generator::apply(Permutation& u) const {
     }
     case GenKind::kSwap: {
       // S_{i,n}: interchange u_{(i-1)n+2 : in+1} with u_{2 : n+1}.
-      assert(n >= 1 && i >= 2);
-      assert(i * n + 1 <= u.size());
+      SCG_DCHECK(n >= 1 && i >= 2);
+      SCG_DCHECK_LE(i * n + 1, u.size());
       for (int j = 0; j < n; ++j) {
         std::swap(u[1 + j], u[(i - 1) * n + 1 + j]);
       }
@@ -57,23 +58,23 @@ void Generator::apply(Permutation& u) const {
     }
     case GenKind::kExchange: {
       // Swap positions i and j (j stored in the `n` field).
-      assert(i >= 1 && n >= 1 && i != n);
-      assert(i <= u.size() && n <= u.size());
+      SCG_DCHECK(i >= 1 && n >= 1 && i != n);
+      SCG_DCHECK(i <= u.size() && n <= u.size());
       std::swap(u[i - 1], u[n - 1]);
       return;
     }
     case GenKind::kReversal: {
       // Reverse the prefix u_{1:i} (pancake flip).
-      assert(i >= 2 && i <= u.size());
+      SCG_DCHECK(i >= 2 && i <= u.size());
       for (int a = 0, b = i - 1; a < b; ++a, --b) std::swap(u[a], u[b]);
       return;
     }
     case GenKind::kRotation: {
       // R^i_n(U) = u_1 u_{k-in+1:k} u_{2:k-in} — cyclic right shift of the
       // rightmost k-1 symbols by i*n positions (boxes rotate i places).
-      assert(n >= 1 && i >= 1);
+      SCG_DCHECK(n >= 1 && i >= 1);
       const int m = u.size() - 1;           // tail length = n*l
-      assert(m % n == 0);
+      SCG_DCHECK_EQ(m % n, 0);
       const int t = (i * n) % m;            // effective shift
       if (t == 0) return;
       std::array<std::uint8_t, kMaxSymbols> tmp{};

@@ -1,7 +1,8 @@
 #include "core/perm_kernels.hpp"
 
+#include "core/check.hpp"
+
 #include <atomic>
-#include <cassert>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
@@ -413,7 +414,7 @@ bool use_fused(int k) {
 // ---------------------------------------------------------------------------
 
 PermLane make_table_lane(const std::uint8_t* tab, int k) {
-  assert(k >= 1 && k <= kMaxSymbols);
+  SCG_CHECK(k >= 1 && k <= kMaxSymbols, "make_table_lane: k = %d", k);
   PermLane lane;
   std::memcpy(lane.b, kIota, sizeof lane.b);
   std::memcpy(lane.b, tab, static_cast<std::size_t>(k));
@@ -475,7 +476,7 @@ bool set_active_kernel_tier(KernelTier t) {
 // ---------------------------------------------------------------------------
 
 void PermBlock::resize(int k, std::size_t n) {
-  assert(k >= 1 && k <= kMaxSymbols);
+  SCG_CHECK(k >= 1 && k <= kMaxSymbols, "PermBlock::resize: k = %d", k);
   k_ = k;
   stride_ = k <= 16 ? 16 : kPermLaneBytes;
   n_ = n;
@@ -485,14 +486,14 @@ void PermBlock::resize(int k, std::size_t n) {
 }
 
 void PermBlock::set(std::size_t i, const Permutation& p) {
-  assert(i < n_ && p.size() == k_);
+  SCG_DCHECK(i < n_ && p.size() == k_);
   std::uint8_t* l = lane(i);
   std::memcpy(l, kIota, stride_);
   for (int s = 0; s < k_; ++s) l[s] = static_cast<std::uint8_t>(p[s] - 1);
 }
 
 Permutation PermBlock::get(std::size_t i) const {
-  assert(i < n_);
+  SCG_DCHECK_LT(i, n_);
   const std::uint8_t* l = lane(i);
   std::uint8_t buf[kMaxSymbols];
   for (int s = 0; s < k_; ++s) buf[s] = static_cast<std::uint8_t>(l[s] + 1);

@@ -1,20 +1,21 @@
 #include "core/permutation.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "core/check.hpp"
 
 namespace scg {
 
 std::uint64_t factorial(int k) {
-  assert(k >= 0 && k <= 20);
+  SCG_CHECK(k >= 0 && k <= 20, "factorial(%d) overflows 64 bits", k);
   std::uint64_t f = 1;
   for (int i = 2; i <= k; ++i) f *= static_cast<std::uint64_t>(i);
   return f;
 }
 
 Permutation Permutation::identity(int k) {
-  assert(k >= 1 && k <= kMaxSymbols);
+  SCG_CHECK(k >= 1 && k <= kMaxSymbols, "identity: k = %d out of range", k);
   Permutation p;
   p.k_ = k;
   for (int i = 0; i < k; ++i) p.sym_[i] = static_cast<std::uint8_t>(i + 1);
@@ -66,7 +67,7 @@ Permutation Permutation::parse(const std::string& digits) {
 // Myrvold & Ruskey, "Ranking and unranking permutations in linear time",
 // IPL 2001.  Works on 0-based values internally.
 Permutation Permutation::unrank(int k, std::uint64_t rank) {
-  assert(k >= 1 && k <= kMaxSymbols);
+  SCG_CHECK(k >= 1 && k <= kMaxSymbols, "unrank: k = %d out of range", k);
   Permutation p = identity(k);
   for (int n = k; n > 1; --n) {  // n == 1 swaps sym_[0] with itself: skip
     std::uint64_t r;
@@ -99,12 +100,12 @@ int Permutation::index_of(std::uint8_t symbol) const {
   for (int i = 0; i < k_; ++i) {
     if (sym_[i] == symbol) return i;
   }
-  assert(false && "symbol not present");
+  SCG_CHECK(false, "index_of: symbol %d not present", symbol);
   return -1;
 }
 
 Permutation Permutation::compose_positions(const Permutation& other) const {
-  assert(k_ == other.k_);
+  SCG_DCHECK_EQ(k_, other.k_);
   Permutation w;
   w.k_ = k_;
   for (int i = 0; i < k_; ++i) w.sym_[i] = sym_[other.sym_[i] - 1];
@@ -112,7 +113,7 @@ Permutation Permutation::compose_positions(const Permutation& other) const {
 }
 
 Permutation Permutation::relabel_symbols(const Permutation& relabel) const {
-  assert(k_ == relabel.k_);
+  SCG_DCHECK_EQ(k_, relabel.k_);
   Permutation w;
   w.k_ = k_;
   for (int i = 0; i < k_; ++i) w.sym_[i] = relabel.sym_[sym_[i] - 1];

@@ -21,13 +21,13 @@
 // survives across calls; the counting sinks materialise nothing.  This is
 // what makes the RouteEngine kernels allocation-free in the steady state.
 #include <algorithm>
-#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
 #include "core/bag.hpp"
+#include "core/check.hpp"
 
 namespace scg {
 namespace {
@@ -207,7 +207,7 @@ class SolverContext {
     for (int b = 1; b <= l_; ++b) {
       if (boxcolor_[static_cast<std::size_t>(b)] == c) return b;
     }
-    assert(false && "color not designated");
+    SCG_CHECK(false, "block_of_color: color %d not designated", c);
     return 1;
   }
 
@@ -328,7 +328,7 @@ class SolverContext {
         best = b;
       }
     }
-    assert(best != -1);
+    SCG_CHECK_NE(best, -1);
     return best;
   }
 
@@ -343,7 +343,7 @@ class SolverContext {
       if (s != 1 && ball_color(s, n_) == boxcolor_[1]) return off;
       if (fallback == -1) fallback = off;
     }
-    assert(fallback != -1);
+    SCG_CHECK_NE(fallback, -1);
     return fallback;
   }
 
@@ -382,7 +382,7 @@ class SolverContext {
         best = b;
       }
     }
-    assert(best != -1);
+    SCG_CHECK_NE(best, -1);
     return best;
   }
 

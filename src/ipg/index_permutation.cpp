@@ -1,6 +1,6 @@
 #include "ipg/index_permutation.hpp"
 
-#include <cassert>
+#include "core/check.hpp"
 #include <numeric>
 #include <stdexcept>
 
@@ -115,7 +115,7 @@ std::uint64_t IndexPermutation::rank(const IpgShape& shape) const {
 }
 
 IndexPermutation IndexPermutation::compose_positions(const Permutation& g) const {
-  assert(g.size() == len_);
+  SCG_DCHECK_EQ(g.size(), len_);
   IndexPermutation out;
   out.len_ = len_;
   for (int i = 0; i < len_; ++i) {

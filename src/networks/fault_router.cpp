@@ -155,7 +155,7 @@ FaultRouter::FaultRouter(const NetworkSpec& net, FaultRouterConfig cfg)
 
 const std::vector<std::vector<std::uint64_t>>& FaultRouter::backups(
     std::uint64_t s, std::uint64_t t) const {
-  std::lock_guard<std::mutex> lock(backup_mu_);
+  MutexLock lock(backup_mu_);
   auto it = backup_cache_.find({s, t});
   if (it != backup_cache_.end()) return it->second;
   std::vector<std::vector<std::uint64_t>> paths;

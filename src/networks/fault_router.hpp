@@ -19,12 +19,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/generator.hpp"
+#include "core/thread_annotations.hpp"
 #include "core/permutation.hpp"
 #include "networks/route_engine.hpp"
 #include "networks/super_cayley.hpp"
@@ -113,10 +113,12 @@ class FaultRouter {
       return static_cast<std::size_t>(h);
     }
   };
-  mutable std::mutex backup_mu_;
+  mutable Mutex backup_mu_;
+  /// Entry *references* handed out by backups() stay valid outside the lock
+  /// (unordered_map never invalidates them); only map mutation is guarded.
   mutable std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
                              std::vector<std::vector<std::uint64_t>>, PairHash>
-      backup_cache_;
+      backup_cache_ SCG_GUARDED_BY(backup_mu_);
 };
 
 }  // namespace scg

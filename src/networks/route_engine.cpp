@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/thread_annotations.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace scg {
@@ -342,17 +343,18 @@ std::uint64_t RouteBatch::total_length() const {
 // ---------------------------------------------------------------------------
 
 struct RouteEngine::CacheShard {
-  std::mutex mu;
+  Mutex mu;
   /// Front = most recently used.  Intrusive iterators from the map keep
   /// lookups O(1); splice keeps promotion allocation-free.
-  std::list<std::pair<std::uint64_t, std::vector<Generator>>> lru;
+  std::list<std::pair<std::uint64_t, std::vector<Generator>>> lru
+      SCG_GUARDED_BY(mu);
   std::unordered_map<std::uint64_t,
                      std::list<std::pair<std::uint64_t,
                                          std::vector<Generator>>>::iterator>
-      map;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
+      map SCG_GUARDED_BY(mu);
+  std::uint64_t hits SCG_GUARDED_BY(mu) = 0;
+  std::uint64_t misses SCG_GUARDED_BY(mu) = 0;
+  std::uint64_t evictions SCG_GUARDED_BY(mu) = 0;
 };
 
 RouteEngine::RouteEngine(const NetworkSpec& net, RouteEngineConfig cfg)
@@ -429,7 +431,7 @@ std::span<const Generator> RouteEngine::route_rel_keyed(const Permutation& w,
   }
   CacheShard& sh = *shard_for(key);
   {
-    std::lock_guard lk(sh.mu);
+    MutexLock lk(sh.mu);
     const auto it = sh.map.find(key);
     if (it != sh.map.end()) {
       sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
@@ -443,7 +445,7 @@ std::span<const Generator> RouteEngine::route_rel_keyed(const Permutation& w,
   // in which case we keep its (identical) entry.
   solve_rel(w, buf.word, buf.scratch);
   {
-    std::lock_guard lk(sh.mu);
+    MutexLock lk(sh.mu);
     if (sh.map.find(key) == sh.map.end()) {
       sh.lru.emplace_front(
           key, std::vector<Generator>(buf.word.begin(), buf.word.end()));
@@ -471,7 +473,7 @@ int RouteEngine::route_length_rel(const Permutation& w) const {
   if (shards_ != nullptr) {
     const std::uint64_t key = w.rank();
     CacheShard& sh = *shard_for(key);
-    std::lock_guard lk(sh.mu);
+    MutexLock lk(sh.mu);
     const auto it = sh.map.find(key);
     if (it != sh.map.end()) {
       sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
@@ -601,7 +603,7 @@ RouteCacheStats RouteEngine::cache_stats() const {
   RouteCacheStats stats;
   if (shards_ == nullptr) return stats;
   for (std::size_t s = 0; s <= shard_mask_; ++s) {
-    std::lock_guard lk(shards_[s].mu);
+    MutexLock lk(shards_[s].mu);
     stats.hits += shards_[s].hits;
     stats.misses += shards_[s].misses;
     stats.evictions += shards_[s].evictions;
@@ -613,7 +615,7 @@ RouteCacheStats RouteEngine::cache_stats() const {
 void RouteEngine::clear_cache() {
   if (shards_ == nullptr) return;
   for (std::size_t s = 0; s <= shard_mask_; ++s) {
-    std::lock_guard lk(shards_[s].mu);
+    MutexLock lk(shards_[s].mu);
     shards_[s].lru.clear();
     shards_[s].map.clear();
     shards_[s].hits = 0;

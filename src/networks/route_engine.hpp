@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>

@@ -1,10 +1,10 @@
 #include "networks/route_policy.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/thread_annotations.hpp"
 #include "parallel/parallel_for.hpp"
 #include "topology/bfs.hpp"
 
@@ -174,8 +174,9 @@ int FaultPolicy::route_hops(std::uint64_t src, std::uint64_t dst) {
 namespace {
 
 struct PolicyRegistry {
-  std::mutex mu;
-  std::unordered_map<std::string, RoutePolicyFactory> factories;
+  Mutex mu;
+  std::unordered_map<std::string, RoutePolicyFactory> factories
+      SCG_GUARDED_BY(mu);
 };
 
 PolicyRegistry& registry() {
@@ -186,7 +187,7 @@ PolicyRegistry& registry() {
 /// Built-ins are registered lazily on first registry use: static-library
 /// self-registration objects get dropped by the linker, an explicit init
 /// call would burden every entry point.
-void ensure_builtins(PolicyRegistry& r) {
+void ensure_builtins(PolicyRegistry& r) SCG_REQUIRES(r.mu) {
   if (!r.factories.empty()) return;
   r.factories.emplace("game", [](const NetworkSpec& net) {
     return std::unique_ptr<RoutePolicy>(new GamePolicy(net));
@@ -200,7 +201,8 @@ void ensure_builtins(PolicyRegistry& r) {
   });
 }
 
-std::vector<std::string> names_locked(const PolicyRegistry& r) {
+std::vector<std::string> names_locked(const PolicyRegistry& r)
+    SCG_REQUIRES(r.mu) {
   std::vector<std::string> names;
   names.reserve(r.factories.size());
   for (const auto& [n, f] : r.factories) names.push_back(n);
@@ -213,7 +215,7 @@ std::vector<std::string> names_locked(const PolicyRegistry& r) {
 void register_route_policy(const std::string& name,
                            RoutePolicyFactory factory) {
   PolicyRegistry& r = registry();
-  std::lock_guard lk(r.mu);
+  MutexLock lk(r.mu);
   ensure_builtins(r);
   r.factories[name] = std::move(factory);
 }
@@ -223,7 +225,7 @@ std::unique_ptr<RoutePolicy> make_route_policy(const std::string& name,
   RoutePolicyFactory factory;
   {
     PolicyRegistry& r = registry();
-    std::lock_guard lk(r.mu);
+    MutexLock lk(r.mu);
     ensure_builtins(r);
     const auto it = r.factories.find(name);
     if (it == r.factories.end()) {
@@ -241,7 +243,7 @@ std::unique_ptr<RoutePolicy> make_route_policy(const std::string& name,
 
 std::vector<std::string> route_policy_names() {
   PolicyRegistry& r = registry();
-  std::lock_guard lk(r.mu);
+  MutexLock lk(r.mu);
   ensure_builtins(r);
   return names_locked(r);
 }

@@ -1,7 +1,6 @@
 #include "networks/view.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cstring>
 #include <stdexcept>
 

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/check.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace scg {
@@ -40,6 +41,8 @@ static_assert(sizeof(OracleHeader) == 72, "header layout is part of the format")
 /// (3).  Lock-free; concurrent claims of entries sharing a word retry.
 bool claim_entry(std::vector<std::uint64_t>& table, std::uint64_t v,
                  std::uint64_t val) {
+  SCG_DCHECK_LT(val, std::uint64_t{3});  // 3 is the unvisited sentinel
+  SCG_DCHECK_LT(v >> 5, table.size());
   std::atomic_ref<std::uint64_t> word(table[v >> 5]);
   const int shift = static_cast<int>(v & 31) * 2;
   std::uint64_t cur = word.load(std::memory_order_relaxed);
@@ -55,6 +58,8 @@ bool claim_entry(std::vector<std::uint64_t>& table, std::uint64_t v,
 
 void set_entry(std::vector<std::uint64_t>& table, std::uint64_t v,
                std::uint64_t val) {
+  SCG_DCHECK_LT(val, std::uint64_t{3});
+  SCG_DCHECK_LT(v >> 5, table.size());
   const int shift = static_cast<int>(v & 31) * 2;
   table[v >> 5] =
       (table[v >> 5] & ~(std::uint64_t{3} << shift)) | (val << shift);
@@ -160,6 +165,9 @@ DistanceOracle DistanceOracle::build(const NetworkSpec& net, ThreadPool* pool) {
     frontier.swap(next);
     std::fill(next.begin(), next.end(), 0);
   }
+  // Every claim is unique (the CAS admits each state once), so the BFS can
+  // never count more states than exist.
+  SCG_CHECK_LE(o.reachable_, n);
   o.finish_stats();
   return o;
 }

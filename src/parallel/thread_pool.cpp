@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "core/check.hpp"
+
 namespace scg {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -17,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = true;
   }
   cv_task_.notify_all();
@@ -26,7 +28,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     tasks_.push(Task{std::move(task), nullptr, 0});
     ++in_flight_;
   }
@@ -34,18 +36,22 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 bool ThreadPool::try_submit(std::function<void()> task) {
-  {
-    std::unique_lock lk(mu_, std::try_to_lock);
-    if (!lk.owns_lock() || stopping_) return false;
-    tasks_.push(Task{std::move(task), nullptr, 0});
-    ++in_flight_;
+  // Conditional acquisition: the analysis tracks the branch-on-success
+  // pattern of try_lock(), so the unlocks below are checked too.
+  if (!mu_.try_lock()) return false;
+  if (stopping_) {
+    mu_.unlock();
+    return false;
   }
+  tasks_.push(Task{std::move(task), nullptr, 0});
+  ++in_flight_;
+  mu_.unlock();
   cv_task_.notify_one();
   return true;
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return tasks_.size();
 }
 
@@ -55,7 +61,7 @@ void ThreadPool::submit_batch(std::size_t count,
   auto shared = std::make_shared<const std::function<void(std::size_t)>>(
       std::move(task));
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     for (std::size_t i = 0; i < count; ++i) {
       tasks_.push(Task{nullptr, shared, i});
     }
@@ -69,23 +75,24 @@ void ThreadPool::submit_batch(std::size_t count,
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lk(mu_);
-  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  MutexLock lk(mu_);
+  while (in_flight_ != 0) cv_idle_.wait(lk, mu_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock lk(mu_);
-      cv_task_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lk(mu_);
+      while (!has_work()) cv_task_.wait(lk, mu_);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task.run();
     {
-      std::lock_guard lk(mu_);
+      MutexLock lk(mu_);
+      SCG_CHECK_GT(in_flight_, std::size_t{0});
       if (--in_flight_ == 0) cv_idle_.notify_all();
     }
   }

@@ -8,14 +8,14 @@
 // that without adding a dependency.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace scg {
 
@@ -73,13 +73,18 @@ class ThreadPool {
 
   void worker_loop();
 
+  /// Wait predicate of worker_loop: a task is runnable or shutdown began.
+  bool has_work() const SCG_REQUIRES(mu_) {
+    return stopping_ || !tasks_.empty();
+  }
+
   std::vector<std::thread> workers_;
-  std::queue<Task> tasks_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_task_;   // signalled when a task is available
-  std::condition_variable cv_idle_;   // signalled when the pool drains
-  std::size_t in_flight_ = 0;         // queued + running tasks
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_task_;   // signalled when a task is available
+  CondVar cv_idle_;   // signalled when the pool drains
+  std::queue<Task> tasks_ SCG_GUARDED_BY(mu_);
+  std::size_t in_flight_ SCG_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stopping_ SCG_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace scg

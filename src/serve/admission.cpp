@@ -27,7 +27,7 @@ Admission AdmissionController::admit(std::size_t queue_depth,
     if (shedding_.load(std::memory_order_relaxed)) return Admission::kShedLoad;
   }
   if (cfg_.rate_limit_qps > 0) {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (last_refill_ns_ == 0) last_refill_ns_ = now_ns;
     if (now_ns > last_refill_ns_) {
       tokens_ = std::min(

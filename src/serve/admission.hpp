@@ -15,7 +15,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+
+#include "core/thread_annotations.hpp"
 
 namespace scg {
 
@@ -50,9 +51,9 @@ class AdmissionController {
   AdmissionConfig cfg_;
   std::atomic<bool> shedding_{false};
 
-  std::mutex mu_;                    ///< guards the token bucket
-  double tokens_ = 0;
-  std::uint64_t last_refill_ns_ = 0;
+  Mutex mu_;  ///< guards the token bucket
+  double tokens_ SCG_GUARDED_BY(mu_) = 0;
+  std::uint64_t last_refill_ns_ SCG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace scg

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/check.hpp"
+
 namespace scg {
 
 RouteServiceConfig RouteService::sanitize(RouteServiceConfig cfg) {
@@ -110,13 +112,14 @@ std::future<RouteReply> RouteService::submit_impl(std::uint64_t src,
   if (!accepted) {
     queued_depth_.fetch_sub(1, std::memory_order_relaxed);
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    // push/try_push refused, so `r` was NOT consumed: complete it here.
+    // push/try_push refused, so `r` was NOT consumed — the move above never
+    // happened and the promise is still ours to complete.
     if (queues_[w]->closed()) {
       stats_.on_rejected_closed();
-      complete_shed(r, ServeStatus::kClosed);
+      complete_shed(r, ServeStatus::kClosed);  // NOLINT(bugprone-use-after-move)
     } else {
       stats_.on_shed(/*rate_limited=*/false);
-      complete_shed(r, ServeStatus::kShedLoad);
+      complete_shed(r, ServeStatus::kShedLoad);  // NOLINT(bugprone-use-after-move)
     }
     return fut;
   }
@@ -160,6 +163,9 @@ void RouteService::worker_loop(std::size_t w) {
     uniq_dst.assign(uniq_rel.size(), identity_rank_);
     engine_.route_batch(uniq_rel, uniq_dst, solved);
     const std::uint64_t t_solved = serve_now_ns();
+    // Coalescing can only shrink a batch, and the dual trigger caps it.
+    SCG_CHECK_LE(uniq_rel.size(), batch.size());
+    SCG_CHECK_LE(batch.size(), cfg_.max_batch);
     stats_.on_batch(batch.size(), uniq_rel.size());
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -178,7 +184,7 @@ void RouteService::worker_loop(std::size_t w) {
           in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1;
       batch[i].reply.set_value(std::move(reply));
       if (last) {
-        std::lock_guard lk(drain_mu_);
+        MutexLock lk(drain_mu_);
         drain_cv_.notify_all();
       }
     }
@@ -186,14 +192,14 @@ void RouteService::worker_loop(std::size_t w) {
 }
 
 void RouteService::drain() {
-  std::unique_lock lk(drain_mu_);
-  drain_cv_.wait(lk, [this] {
-    return in_flight_.load(std::memory_order_acquire) == 0;
-  });
+  MutexLock lk(drain_mu_);
+  while (in_flight_.load(std::memory_order_acquire) != 0) {
+    drain_cv_.wait(lk, drain_mu_);
+  }
 }
 
 void RouteService::shutdown() {
-  std::lock_guard lifecycle(lifecycle_mu_);
+  MutexLock lifecycle(lifecycle_mu_);
   closed_.store(true, std::memory_order_release);
   for (auto& q : queues_) q->close();
   if (!joined_) {

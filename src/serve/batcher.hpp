@@ -38,14 +38,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "networks/route_engine.hpp"
 #include "networks/super_cayley.hpp"
 #include "serve/admission.hpp"
@@ -132,10 +131,13 @@ class RouteService {
   std::atomic<std::uint64_t> queued_depth_{0};  ///< aggregate queue backlog
   std::atomic<std::uint64_t> in_flight_{0};     ///< admitted, not yet replied
   std::atomic<bool> closed_{false};
-  bool joined_ = false;
-  std::mutex lifecycle_mu_;  ///< serialises shutdown() callers
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
+  Mutex lifecycle_mu_;  ///< serialises shutdown() callers
+  bool joined_ SCG_GUARDED_BY(lifecycle_mu_) = false;
+  /// Guards nothing directly — in_flight_ is atomic — but drain()'s condvar
+  /// wait needs a mutex, and notify under it closes the missed-wakeup race.
+  /// Never nested with lifecycle_mu_.
+  Mutex drain_mu_;
+  CondVar drain_cv_;
 };
 
 }  // namespace scg

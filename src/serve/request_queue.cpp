@@ -1,7 +1,9 @@
 #include "serve/request_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "core/check.hpp"
 #include "serve/service_stats.hpp"
 
 namespace scg {
@@ -23,16 +25,21 @@ const char* serve_status_name(ServeStatus s) {
 RequestQueue::RequestQueue(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
+void RequestQueue::record_push() {
+  ++enqueued_;
+  high_water_ = std::max<std::uint64_t>(high_water_, q_.size());
+  SCG_DCHECK_LE(q_.size(), capacity_);
+}
+
 bool RequestQueue::try_push(ServeRequest&& r) {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     if (closed_ || q_.size() >= capacity_) {
       if (!closed_) ++rejected_full_;
       return false;
     }
     q_.push_back(std::move(r));
-    ++enqueued_;
-    high_water_ = std::max<std::uint64_t>(high_water_, q_.size());
+    record_push();
   }
   cv_data_.notify_one();
   return true;
@@ -40,16 +47,15 @@ bool RequestQueue::try_push(ServeRequest&& r) {
 
 bool RequestQueue::push(ServeRequest&& r) {
   {
-    std::unique_lock lk(mu_);
-    if (q_.size() >= capacity_ && !closed_) {
+    MutexLock lk(mu_);
+    if (!has_space()) {
       const std::uint64_t t0 = serve_now_ns();
-      cv_space_.wait(lk, [this] { return closed_ || q_.size() < capacity_; });
+      while (!has_space()) cv_space_.wait(lk, mu_);
       blocked_ns_ += serve_now_ns() - t0;
     }
     if (closed_) return false;
     q_.push_back(std::move(r));
-    ++enqueued_;
-    high_water_ = std::max<std::uint64_t>(high_water_, q_.size());
+    record_push();
   }
   cv_data_.notify_one();
   return true;
@@ -60,8 +66,8 @@ std::size_t RequestQueue::pop_batch(std::vector<ServeRequest>& out,
                                     std::chrono::microseconds linger) {
   out.clear();
   if (max == 0) max = 1;
-  std::unique_lock lk(mu_);
-  cv_data_.wait(lk, [this] { return closed_ || !q_.empty(); });
+  MutexLock lk(mu_);
+  while (!has_data()) cv_data_.wait(lk, mu_);
   if (q_.empty()) return 0;  // closed and drained
 
   // Batch opens with the first request; top it up until full or the linger
@@ -75,10 +81,16 @@ std::size_t RequestQueue::pop_batch(std::vector<ServeRequest>& out,
     }
     if (out.size() >= max || closed_) break;
     if (linger.count() <= 0) break;
-    if (!cv_data_.wait_until(lk, deadline,
-                             [this] { return closed_ || !q_.empty(); })) {
-      break;  // linger expired
+    // Timed wait with an explicit predicate re-check loop (spurious
+    // wake-ups and the timeout race both re-evaluate has_data()).
+    bool timed_out = false;
+    while (!has_data()) {
+      if (cv_data_.wait_until(lk, mu_, deadline) == std::cv_status::timeout) {
+        timed_out = !has_data();
+        break;
+      }
     }
+    if (timed_out) break;   // linger expired with nothing new
     if (q_.empty()) break;  // woken by close
   }
   lk.unlock();
@@ -88,7 +100,7 @@ std::size_t RequestQueue::pop_batch(std::vector<ServeRequest>& out,
 
 void RequestQueue::close() {
   {
-    std::lock_guard lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
   }
   cv_data_.notify_all();
@@ -96,17 +108,17 @@ void RequestQueue::close() {
 }
 
 std::size_t RequestQueue::depth() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return q_.size();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   return closed_;
 }
 
 RequestQueueStats RequestQueue::stats() const {
-  std::lock_guard lk(mu_);
+  MutexLock lk(mu_);
   RequestQueueStats s;
   s.enqueued = enqueued_;
   s.rejected_full = rejected_full_;

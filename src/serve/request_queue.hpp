@@ -18,14 +18,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
 #include "core/generator.hpp"
+#include "core/thread_annotations.hpp"
 
 namespace scg {
 
@@ -107,17 +106,26 @@ class RequestQueue {
   RequestQueueStats stats() const;
 
  private:
-  const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_space_;  ///< signalled when a slot frees up
-  std::condition_variable cv_data_;   ///< signalled on push and close
-  std::deque<ServeRequest> q_;
-  bool closed_ = false;
+  /// Wait predicate of pop_batch: a request is drainable or close() ran.
+  bool has_data() const SCG_REQUIRES(mu_) { return closed_ || !q_.empty(); }
+  /// Wait predicate of push: a slot freed up or close() ran.
+  bool has_space() const SCG_REQUIRES(mu_) {
+    return closed_ || q_.size() < capacity_;
+  }
+  /// Counter maintenance shared by try_push/push, under the queue lock.
+  void record_push() SCG_REQUIRES(mu_);
 
-  std::uint64_t enqueued_ = 0;
-  std::uint64_t rejected_full_ = 0;
-  std::uint64_t high_water_ = 0;
-  std::uint64_t blocked_ns_ = 0;
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  CondVar cv_space_;  ///< signalled when a slot frees up
+  CondVar cv_data_;   ///< signalled on push and close
+  std::deque<ServeRequest> q_ SCG_GUARDED_BY(mu_);
+  bool closed_ SCG_GUARDED_BY(mu_) = false;
+
+  std::uint64_t enqueued_ SCG_GUARDED_BY(mu_) = 0;
+  std::uint64_t rejected_full_ SCG_GUARDED_BY(mu_) = 0;
+  std::uint64_t high_water_ SCG_GUARDED_BY(mu_) = 0;
+  std::uint64_t blocked_ns_ SCG_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace scg

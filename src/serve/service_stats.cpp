@@ -4,6 +4,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "core/check.hpp"
 #include "sim/stats.hpp"
 
 namespace scg {
@@ -52,6 +53,9 @@ std::uint64_t LatencyHistogram::Snapshot::percentile(std::uint64_t q_num,
 }
 
 void ServiceStats::on_batch(std::size_t size, std::size_t unique) {
+  // A batch never ships empty, and coalescing only removes duplicates.
+  SCG_DCHECK_GT(size, std::size_t{0});
+  SCG_DCHECK_LE(unique, size);
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(size, std::memory_order_relaxed);
   coalesced_.fetch_add(size - unique, std::memory_order_relaxed);

@@ -1,6 +1,5 @@
 #include "topology/baselines.hpp"
 
-#include <cassert>
 #include <stdexcept>
 #include <vector>
 

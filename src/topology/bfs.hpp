@@ -8,13 +8,13 @@
 // in this library has diameter far below 65535.
 #pragma once
 
-#include <cassert>
 #include <atomic>
 #include <cstdint>
 #include <deque>
 #include <limits>
 #include <vector>
 
+#include "core/check.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -45,7 +45,7 @@ std::vector<std::uint16_t> bfs_distances(const G& g, std::uint64_t src) {
   [[maybe_unused]] std::vector<std::uint64_t> buf;
   if constexpr (BatchExpandable<G>) buf.resize(g.degree());
   while (!frontier.empty()) {
-    assert(level < kUnreached - 1 && "bfs_distances: distance overflow");
+    SCG_CHECK(level < kUnreached - 1, "bfs_distances: distance overflow");
     ++level;
     next.clear();
     for (const std::uint64_t u : frontier) {
@@ -79,7 +79,8 @@ std::vector<std::uint16_t> bfs_distances_parallel(const G& g, std::uint64_t src,
   dist[src] = 0;
   std::uint16_t level = 0;
   while (!frontier.empty()) {
-    assert(level < kUnreached - 1 && "bfs_distances_parallel: distance overflow");
+    SCG_CHECK(level < kUnreached - 1,
+              "bfs_distances_parallel: distance overflow");
     ++level;
     const std::uint64_t fsz = frontier.size();
     std::vector<std::vector<std::uint64_t>> buffers;
@@ -139,7 +140,7 @@ std::vector<std::uint16_t> zero_one_bfs(const G& g, std::uint64_t src,
       const std::uint32_t nd = du + w;
       // du never exceeds the stored maximum real distance (kUnreached - 1),
       // so nd caps at kUnreached; it must not wrap into a "real" distance.
-      assert(nd < kUnreached && "zero_one_bfs: distance overflow");
+      SCG_DCHECK_LT(nd, kUnreached);
       if (nd >= kUnreached) return;  // clamp: leave v at its current label
       if (nd < dist[v]) {
         dist[v] = static_cast<std::uint16_t>(nd);

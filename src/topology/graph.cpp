@@ -1,8 +1,9 @@
 #include "topology/graph.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+
+#include "core/check.hpp"
 
 namespace scg {
 
@@ -19,7 +20,8 @@ Graph Graph::build(std::uint64_t num_nodes, bool directed,
   g.tags_.resize(arcs);
 
   for (const Edge& e : edges) {
-    assert(e.from < num_nodes && e.to < num_nodes);
+    SCG_CHECK(e.from < num_nodes && e.to < num_nodes,
+              "Graph::build: edge endpoint out of range");
     ++g.offsets_[e.from + 1];
     if (!directed) ++g.offsets_[e.to + 1];
   }

@@ -1,0 +1,33 @@
+// Positive control for the negative-compilation probe: the same shape as
+// guarded_by_violation.cpp with every access correctly locked.  This file
+// must compile clean under -Werror=thread-safety — if it fails, the
+// WILL_FAIL twin is failing for the wrong reason (broken flags or headers,
+// not the violation).
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() {
+    scg::MutexLock lk(mu_);
+    ++value_;
+  }
+
+  int read_locked() const {
+    scg::MutexLock lk(mu_);
+    return value_;
+  }
+
+ private:
+  mutable scg::Mutex mu_;
+  int value_ SCG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_locked();
+  return c.read_locked();
+}

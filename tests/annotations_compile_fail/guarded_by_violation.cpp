@@ -1,0 +1,31 @@
+// Negative-compilation probe: reading/writing an SCG_GUARDED_BY member
+// without holding its mutex MUST fail a clang build with
+// -Werror=thread-safety.  Registered by tests/CMakeLists.txt as a
+// WILL_FAIL compile test (clang only); if this file ever compiles clean,
+// the annotation layer has silently stopped enforcing.
+#include "core/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() {
+    scg::MutexLock lk(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): touches value_ with mu_ not held.
+  int read_unlocked() const { return value_; }
+
+ private:
+  mutable scg::Mutex mu_;
+  int value_ SCG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump_locked();
+  return c.read_unlocked();
+}

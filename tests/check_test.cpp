@@ -1,0 +1,86 @@
+// Contract-check layer (core/check.hpp): message formatting, comparison
+// variants, single evaluation, and death on violation.  SCG_CHECKED=1 is
+// forced before the include so the DCHECK tier is active regardless of the
+// build type (the target compiles this TU only).
+#define SCG_CHECKED 1
+
+#include "core/check.hpp"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace scg {
+namespace {
+
+using CheckDeathTest = testing::Test;
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  SCG_CHECK(true);
+  SCG_CHECK(1 + 1 == 2, "context %d", 42);
+  SCG_CHECK_EQ(3, 3);
+  SCG_CHECK_NE(3, 4);
+  SCG_CHECK_LT(3, 4);
+  SCG_CHECK_LE(4, 4);
+  SCG_CHECK_GT(4, 3);
+  SCG_CHECK_GE(4, 4);
+  SCG_DCHECK(true);
+  SCG_DCHECK_EQ(7, 7);
+}
+
+TEST(CheckTest, OperandsEvaluateExactlyOnce) {
+  int a = 0;
+  int b = 10;
+  SCG_CHECK_LT(++a, ++b);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 11);
+  SCG_DCHECK_LT(++a, ++b);
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 12);
+}
+
+TEST(CheckTest, DcheckTierIsOnInThisTU) {
+  static_assert(SCG_DCHECK_IS_ON == 1, "SCG_CHECKED=1 must enable DCHECKs");
+}
+
+TEST(CheckDeathTest, PlainCheckPrintsExpression) {
+  EXPECT_DEATH(SCG_CHECK(2 + 2 == 5), "SCG_CHECK\\(2 \\+ 2 == 5\\) failed");
+}
+
+TEST(CheckDeathTest, MessageIsPrintfFormatted) {
+  EXPECT_DEATH(SCG_CHECK(false, "ctx %d %s", 42, "tail"),
+               "SCG_CHECK\\(false\\) failed: ctx 42 tail");
+}
+
+TEST(CheckDeathTest, EqPrintsBothOperands) {
+  const int lhs = 3;
+  const int rhs = 4;
+  EXPECT_DEATH(SCG_CHECK_EQ(lhs, rhs), "lhs == rhs\\) failed: 3 vs 4");
+}
+
+TEST(CheckDeathTest, LtPrintsBothOperands) {
+  EXPECT_DEATH(SCG_CHECK_LT(9, 2), "9 < 2\\) failed: 9 vs 2");
+}
+
+TEST(CheckDeathTest, LePrintsBothOperands) {
+  const std::uint64_t big = 1'000'000'000'000ULL;
+  EXPECT_DEATH(SCG_CHECK_LE(big, std::uint64_t{1}),
+               "failed: 1000000000000 vs 1");
+}
+
+TEST(CheckDeathTest, BannerCarriesFileAndLine) {
+  EXPECT_DEATH(SCG_CHECK(false), "check_test\\.cpp:[0-9]+: SCG_CHECK");
+}
+
+TEST(CheckDeathTest, DcheckFiresWhenEnabled) {
+  EXPECT_DEATH(SCG_DCHECK(false, "dcheck ctx"), "failed: dcheck ctx");
+  EXPECT_DEATH(SCG_DCHECK_EQ(1, 2), "1 == 2\\) failed: 1 vs 2");
+}
+
+TEST(CheckDeathTest, MixedSignednessComparesAndPrints) {
+  const std::int64_t neg = -5;
+  EXPECT_DEATH(SCG_CHECK_GT(neg, std::int64_t{0}), "failed: -5 vs 0");
+}
+
+}  // namespace
+}  // namespace scg
